@@ -1,0 +1,39 @@
+//! Ablation: the full lock-algorithm sweep on SCTR (low vs high
+//! contention crossover).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::run_mapped;
+use glocks_locks::LockAlgorithm;
+use glocks_sim::LockMapping;
+use glocks_workloads::{BenchConfig, BenchKind};
+
+fn ablation(c: &mut Criterion) {
+    let algos = [
+        LockAlgorithm::Simple,
+        LockAlgorithm::Tatas,
+        LockAlgorithm::TatasBackoff,
+        LockAlgorithm::Ticket,
+        LockAlgorithm::Anderson,
+        LockAlgorithm::Mcs,
+        LockAlgorithm::Glock,
+        LockAlgorithm::Ideal,
+    ];
+    for algo in algos {
+        let bench = BenchConfig::smoke(BenchKind::Sctr, 8);
+        let r = run_mapped(&bench, &LockMapping::uniform(algo, 1));
+        println!("ablation sctr-8 {}: {} cycles", algo.name(), r.cycles);
+    }
+    let mut g = c.benchmark_group("ablation_algorithms");
+    g.sample_size(10);
+    for algo in [LockAlgorithm::Tatas, LockAlgorithm::Mcs, LockAlgorithm::Glock] {
+        g.bench_function(algo.name(), |b| {
+            let bench = BenchConfig::smoke(BenchKind::Sctr, 8);
+            let mapping = LockMapping::uniform(algo, 1);
+            b.iter(|| run_mapped(&bench, &mapping).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the memory-hierarchy substrate: hit/miss/RMW
+//! latencies and simulator throughput under coherence storms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_mem::{MemOp, MemorySystem, RmwKind};
+use glocks_sim_base::{Addr, CmpConfig, CoreId};
+
+fn run_op(sys: &mut MemorySystem, core: CoreId, op: MemOp, start: u64) -> u64 {
+    sys.submit(core, op, start);
+    let mut now = start;
+    loop {
+        sys.tick(now);
+        if sys.take_result(core).is_some() {
+            return now - start;
+        }
+        now += 1;
+    }
+}
+
+fn coherence(c: &mut Criterion) {
+    let cfg = CmpConfig::paper_baseline().with_cores(16);
+    {
+        let mut sys = MemorySystem::new(&cfg);
+        let cold = run_op(&mut sys, CoreId(0), MemOp::Load(Addr(0x9000)), 0);
+        let hit = run_op(&mut sys, CoreId(0), MemOp::Load(Addr(0x9000)), 10_000);
+        let remote = run_op(&mut sys, CoreId(9), MemOp::Load(Addr(0x9000)), 20_000);
+        println!("coherence latencies: cold {cold}, L1 hit {hit}, cache-to-cache {remote} cycles");
+    }
+    let mut g = c.benchmark_group("coherence_substrate");
+    g.bench_function("rmw_storm_16cores", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(&cfg);
+            let a = Addr(0xA000);
+            for i in 0..16u16 {
+                sys.submit(CoreId(i), MemOp::Rmw(a, RmwKind::FetchAdd(1)), 0);
+            }
+            let mut done = 0;
+            let mut now = 0;
+            while done < 16 {
+                sys.tick(now);
+                for i in 0..16u16 {
+                    if sys.take_result(CoreId(i)).is_some() {
+                        done += 1;
+                    }
+                }
+                now += 1;
+            }
+            now
+        })
+    });
+    g.bench_function("private_streaming_1core", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(&cfg);
+            let mut now = 0;
+            for i in 0..64u64 {
+                now += run_op(&mut sys, CoreId(0), MemOp::Store(Addr(0x10_000 + i * 8), i), now);
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, coherence);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benches for the beyond-the-paper mechanisms: dynamic GLock sharing,
+//! the reactive lock, and the G-line barrier network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks::barrier::GBarrierNetwork;
+use glocks::{GlockPool, GlockRegisters, PoolDecision, Topology};
+use glocks_bench::run_mapped;
+use glocks_locks::LockAlgorithm;
+use glocks_sim::LockMapping;
+use glocks_sim_base::Mesh2D;
+use glocks_workloads::{BenchConfig, BenchKind};
+
+fn extensions(c: &mut Criterion) {
+    // One-shot metric prints.
+    {
+        let bench = BenchConfig::smoke(BenchKind::Raytr, 8);
+        let stat = run_mapped(
+            &bench,
+            &LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks()),
+        );
+        let dynq = run_mapped(
+            &bench,
+            &LockMapping::uniform(LockAlgorithm::DynamicGlock, bench.n_locks()),
+        );
+        println!(
+            "extensions raytr-8: static {} vs dynamic {} cycles (pool {:?})",
+            stat.cycles,
+            dynq.cycles,
+            dynq.pool
+        );
+    }
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("dynamic_glock_raytr8", |b| {
+        let bench = BenchConfig::smoke(BenchKind::Raytr, 8);
+        let mapping = LockMapping::uniform(LockAlgorithm::DynamicGlock, bench.n_locks());
+        b.iter(|| run_mapped(&bench, &mapping).cycles)
+    });
+    g.bench_function("reactive_sctr8", |b| {
+        let bench = BenchConfig::smoke(BenchKind::Sctr, 8);
+        let mapping = LockMapping::uniform(LockAlgorithm::Reactive, bench.n_locks());
+        b.iter(|| run_mapped(&bench, &mapping).cycles)
+    });
+    g.bench_function("pool_bind_unbind", |b| {
+        let pool = GlockPool::new(vec![GlockRegisters::new(8), GlockRegisters::new(8)]);
+        b.iter(|| {
+            let d = pool.begin_acquire(3);
+            pool.end_release(3);
+            matches!(d, PoolDecision::Hardware(_))
+        })
+    });
+    g.bench_function("gline_barrier_1000_episodes", |b| {
+        let topo = Topology::flat(Mesh2D::near_square(32));
+        b.iter(|| {
+            let mut net = GBarrierNetwork::new(&topo, 1);
+            let regs = net.regs();
+            let mut now = 0u64;
+            while net.episodes() < 1000 {
+                for c in 0..32 {
+                    regs.set_arrive(c);
+                }
+                while (0..32).any(|c| regs.waiting(c)) {
+                    net.tick(now);
+                    now += 1;
+                }
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, extensions);
+criterion_main!(benches);

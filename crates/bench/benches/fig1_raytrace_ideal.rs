@@ -1,0 +1,36 @@
+//! Figure 1: Raytrace under TATAS / TATAS-1 / TATAS-2 / IDEAL.
+//! Regenerates the figure's rows (printed once) and benches each config.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::{run_mapped, BENCH_THREADS};
+use glocks_locks::LockAlgorithm;
+use glocks_sim::LockMapping;
+use glocks_workloads::{BenchConfig, BenchKind};
+
+fn fig1(c: &mut Criterion) {
+    let bench = BenchConfig::smoke(BenchKind::Raytr, BENCH_THREADS);
+    let hc = bench.hc_locks();
+    let n = bench.n_locks();
+    let configs: Vec<(&str, LockMapping)> = vec![
+        ("tatas", LockMapping::tatas_x(&hc, 0, n)),
+        ("tatas_1", LockMapping::tatas_x(&hc, 1, n)),
+        ("tatas_2", LockMapping::tatas_x(&hc, 2, n)),
+        ("ideal", LockMapping::uniform(LockAlgorithm::Ideal, n)),
+    ];
+    // Print the figure's series once.
+    let base = run_mapped(&bench, &configs[0].1).cycles as f64;
+    for (name, m) in &configs {
+        let r = run_mapped(&bench, m);
+        println!("fig1 {name}: {} cycles (normalized {:.2})", r.cycles, r.cycles as f64 / base);
+    }
+    let mut g = c.benchmark_group("fig1_raytrace_ideal");
+    g.sample_size(10);
+    for (name, m) in configs {
+        let b = bench;
+        g.bench_function(name, |bch| bch.iter(|| run_mapped(&b, &m).cycles));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

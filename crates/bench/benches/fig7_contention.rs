@@ -1,0 +1,38 @@
+//! Figure 7: the grAC contention-rate analysis under TATAS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::{run_mapped, BENCH_THREADS};
+use glocks_locks::LockAlgorithm;
+use glocks_sim::LockMapping;
+use glocks_workloads::{contention::summarize, BenchConfig, BenchKind};
+
+fn fig7(c: &mut Criterion) {
+    // Print the LCR decomposition once.
+    for kind in [BenchKind::Sctr, BenchKind::Actr, BenchKind::Qsort] {
+        let bench = BenchConfig::smoke(kind, BENCH_THREADS);
+        let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
+        let r = run_mapped(&bench, &mapping);
+        for (i, s) in summarize(&r.lcr).iter().enumerate() {
+            println!(
+                "fig7 {}-L{}: weight {:.2} buckets {:?}",
+                kind.name(),
+                i + 1,
+                s.weight,
+                s.buckets
+            );
+        }
+    }
+    let mut g = c.benchmark_group("fig7_contention");
+    g.sample_size(10);
+    for kind in [BenchKind::Sctr, BenchKind::Prco] {
+        g.bench_function(kind.name(), |b| {
+            let bench = BenchConfig::smoke(kind, BENCH_THREADS);
+            let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
+            b.iter(|| run_mapped(&bench, &mapping).lcr.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

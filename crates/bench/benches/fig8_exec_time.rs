@@ -1,0 +1,34 @@
+//! Figure 8: normalized execution time, GLocks vs MCS, every benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::{run_case, BENCH_THREADS};
+use glocks_locks::LockAlgorithm;
+use glocks_workloads::BenchKind;
+
+fn fig8(c: &mut Criterion) {
+    for kind in BenchKind::ALL {
+        let mcs = run_case(kind, LockAlgorithm::Mcs, BENCH_THREADS);
+        let gl = run_case(kind, LockAlgorithm::Glock, BENCH_THREADS);
+        println!(
+            "fig8 {}: MCS {} GL {} (normalized {:.2})",
+            kind.name(),
+            mcs.cycles,
+            gl.cycles,
+            gl.cycles as f64 / mcs.cycles as f64
+        );
+    }
+    let mut g = c.benchmark_group("fig8_exec_time");
+    g.sample_size(10);
+    for kind in [BenchKind::Sctr, BenchKind::Dbll, BenchKind::Raytr] {
+        g.bench_function(format!("{}_mcs", kind.name()), |b| {
+            b.iter(|| run_case(kind, LockAlgorithm::Mcs, BENCH_THREADS).cycles)
+        });
+        g.bench_function(format!("{}_glock", kind.name()), |b| {
+            b.iter(|| run_case(kind, LockAlgorithm::Glock, BENCH_THREADS).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figures 9 and 10: network traffic and ED2P, GLocks vs MCS (the same
+//! simulations produce both metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::{run_case, BENCH_THREADS};
+use glocks_locks::LockAlgorithm;
+use glocks_workloads::BenchKind;
+
+fn fig9_fig10(c: &mut Criterion) {
+    for kind in BenchKind::ALL {
+        let mcs = run_case(kind, LockAlgorithm::Mcs, BENCH_THREADS);
+        let gl = run_case(kind, LockAlgorithm::Glock, BENCH_THREADS);
+        println!(
+            "fig9 {}: traffic GL/MCS {:.2} | fig10 ED2P GL/MCS {:.2}",
+            kind.name(),
+            gl.traffic.total_bytes() as f64 / mcs.traffic.total_bytes() as f64,
+            gl.ed2p / mcs.ed2p,
+        );
+    }
+    let mut g = c.benchmark_group("fig9_fig10");
+    g.sample_size(10);
+    g.bench_function("sctr_traffic_and_ed2p", |b| {
+        b.iter(|| {
+            let r = run_case(BenchKind::Sctr, LockAlgorithm::Glock, BENCH_THREADS);
+            (r.traffic.total_bytes(), r.ed2p as u64)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig9_fig10);
+criterion_main!(benches);

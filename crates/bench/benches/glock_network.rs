@@ -1,0 +1,48 @@
+//! Microbenchmarks of the GLock hardware model itself: raw grant
+//! throughput of one G-line network under full contention, flat vs
+//! hierarchical, and across G-line latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks::{GlockNetwork, Topology};
+use glocks_sim_base::Mesh2D;
+
+/// Saturate a network: every core requests, holder releases immediately;
+/// returns simulated cycles for `grants` grants.
+fn saturate(topo: &Topology, latency: u64, grants: u64) -> u64 {
+    let mut net = GlockNetwork::new(topo, latency);
+    let regs = net.regs();
+    for c in 0..topo.n_cores {
+        regs.set_req(c);
+    }
+    let mut done = 0;
+    let mut now = 0;
+    while done < grants {
+        net.tick(now);
+        if let Some(h) = net.holder() {
+            done += 1;
+            regs.set_rel(h.index());
+            regs.set_req(h.index());
+        }
+        now += 1;
+        assert!(now < grants * 100, "network stalled");
+    }
+    now
+}
+
+fn glock_network(c: &mut Criterion) {
+    let flat32 = Topology::flat(Mesh2D::near_square(32));
+    let hier64 = Topology::hierarchical(Mesh2D::near_square(64), 7);
+    println!(
+        "glock saturated handoff: flat32 {:.2} cycles/grant, hier64 {:.2} cycles/grant",
+        saturate(&flat32, 1, 1000) as f64 / 1000.0,
+        saturate(&hier64, 1, 1000) as f64 / 1000.0
+    );
+    let mut g = c.benchmark_group("glock_network");
+    g.bench_function("flat32_1000_grants", |b| b.iter(|| saturate(&flat32, 1, 1000)));
+    g.bench_function("hier64_1000_grants", |b| b.iter(|| saturate(&hier64, 1, 1000)));
+    g.bench_function("flat32_latency4", |b| b.iter(|| saturate(&flat32, 4, 1000)));
+    g.finish();
+}
+
+criterion_group!(benches, glock_network);
+criterion_main!(benches);

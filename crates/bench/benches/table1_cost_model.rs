@@ -1,0 +1,27 @@
+//! Table I: the GLock cost model (pure computation, so this bench also
+//! guards the topology builder's performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks::{GlockCost, Topology};
+use glocks_sim_base::Mesh2D;
+
+fn table1(c: &mut Criterion) {
+    for n in [9usize, 32, 49] {
+        let cost = GlockCost::for_cores(n);
+        println!(
+            "table1 {n} cores: {} G-lines, {} secondaries, acq {}..{} cycles",
+            cost.glines, cost.secondary_managers, cost.acquire_best_cycles, cost.acquire_worst_cycles
+        );
+    }
+    let mut g = c.benchmark_group("table1_cost_model");
+    g.bench_function("flat_topology_32", |b| {
+        b.iter(|| Topology::flat(Mesh2D::near_square(32)).gline_count())
+    });
+    g.bench_function("hierarchical_topology_100", |b| {
+        b.iter(|| Topology::hierarchical(Mesh2D::near_square(100), 7).gline_count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table IV: application speedups across core counts, MCS vs GLocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glocks_bench::run_case;
+use glocks_locks::LockAlgorithm;
+use glocks_workloads::BenchKind;
+
+fn table4(c: &mut Criterion) {
+    for kind in BenchKind::APPS {
+        let serial = run_case(kind, LockAlgorithm::Mcs, 1).cycles as f64;
+        for cores in [4usize, 8] {
+            let mcs = run_case(kind, LockAlgorithm::Mcs, cores).cycles as f64;
+            let gl = run_case(kind, LockAlgorithm::Glock, cores).cycles as f64;
+            println!(
+                "table4 {} @{cores}: speedup MCS {:.2} GL {:.2}",
+                kind.name(),
+                serial / mcs,
+                serial / gl
+            );
+        }
+    }
+    let mut g = c.benchmark_group("table4_speedup");
+    g.sample_size(10);
+    g.bench_function("raytr_8core_glock", |b| {
+        b.iter(|| run_case(BenchKind::Raytr, LockAlgorithm::Glock, 8).cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

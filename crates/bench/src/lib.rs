@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench target regenerates one of the paper's tables/figures at a
+//! reduced scale (so `cargo bench` stays tractable) while measuring the
+//! simulator's own throughput. The *full-scale* numbers in EXPERIMENTS.md
+//! come from the `glocks-experiments` binary in `glocks-harness`.
+
+use glocks_locks::LockAlgorithm;
+use glocks_sim::{LockMapping, SimReport, Simulation, SimulationOptions};
+use glocks_sim_base::CmpConfig;
+use glocks_workloads::{BenchConfig, BenchKind};
+
+/// Thread count used by the benches (small enough for quick iterations).
+pub const BENCH_THREADS: usize = 8;
+
+/// Run one benchmark at bench scale and return its report (verified).
+pub fn run_case(kind: BenchKind, algo: LockAlgorithm, threads: usize) -> SimReport {
+    let bench = BenchConfig::smoke(kind, threads);
+    let mapping = LockMapping::hybrid(&bench.hc_locks(), algo, bench.n_locks());
+    run_mapped(&bench, &mapping)
+}
+
+/// Run with an explicit mapping.
+pub fn run_mapped(bench: &BenchConfig, mapping: &LockMapping) -> SimReport {
+    let inst = bench.build();
+    let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
+    let sim = Simulation::new(
+        &cfg,
+        mapping,
+        inst.workloads,
+        &inst.init,
+        SimulationOptions::default(),
+    );
+    let (report, mem) = sim.run();
+    (inst.verify)(mem.store()).expect("bench case must verify");
+    report
+}

@@ -1,0 +1,145 @@
+//! Table I: the hardware/software cost of GLocks on a 2D-mesh CMP.
+//!
+//! The paper states the per-lock costs in terms of the core count `C`
+//! (assuming a √C × √C layout): `C − 1` G-lines, one primary lock manager,
+//! `√C` secondary lock managers, `C − 1` local controllers, `√C` fSx flags,
+//! `C` fx flags, 2–4-cycle acquire and 1-cycle release.
+
+use crate::topology::Topology;
+use glocks_sim_base::Mesh2D;
+
+/// Instantiated Table I for one GLock on a `C`-core CMP.
+///
+/// ```
+/// use glocks::GlockCost;
+/// let c = GlockCost::for_cores(9);
+/// assert_eq!(c.glines, 8);                 // C − 1
+/// assert_eq!(c.secondary_managers, 3);     // √C
+/// assert_eq!(c.acquire_worst_cycles, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlockCost {
+    pub cores: usize,
+    pub glines: usize,
+    pub primary_managers: usize,
+    pub secondary_managers: usize,
+    pub local_controllers: usize,
+    pub fsx_flags: usize,
+    pub fx_flags: usize,
+    pub acquire_worst_cycles: u64,
+    pub acquire_best_cycles: u64,
+    pub release_cycles: u64,
+}
+
+impl GlockCost {
+    /// Table I's closed-form row for a `C`-core CMP (row count = the mesh's
+    /// second dimension; √C for square layouts).
+    pub fn for_cores(cores: usize) -> Self {
+        let mesh = Mesh2D::near_square(cores);
+        GlockCost::for_mesh(mesh)
+    }
+
+    /// Costs for an explicit mesh layout.
+    pub fn for_mesh(mesh: Mesh2D) -> Self {
+        let c = mesh.len();
+        let rows = mesh.rows() as usize;
+        GlockCost {
+            cores: c,
+            glines: c.saturating_sub(1),
+            primary_managers: 1,
+            secondary_managers: rows,
+            local_controllers: c.saturating_sub(1),
+            fsx_flags: rows,
+            fx_flags: c,
+            acquire_worst_cycles: 4,
+            acquire_best_cycles: 2,
+            release_cycles: 1,
+        }
+    }
+
+    /// Costs measured from an instantiated topology (must agree with the
+    /// closed form for flat layouts — tested below).
+    pub fn for_topology(topo: &Topology, gline_latency: u64) -> Self {
+        GlockCost {
+            cores: topo.n_cores,
+            glines: topo.gline_count(),
+            primary_managers: 1,
+            secondary_managers: topo.n_arbiters() - 1,
+            local_controllers: topo.n_cores.saturating_sub(1),
+            fsx_flags: topo.n_arbiters() - 1,
+            fx_flags: topo.n_cores,
+            acquire_worst_cycles: topo.worst_case_acquire(gline_latency),
+            acquire_best_cycles: topo.best_case_acquire(gline_latency),
+            release_cycles: gline_latency,
+        }
+    }
+
+    /// Total G-lines for `n_locks` hardware locks (the network is
+    /// replicated per lock).
+    pub fn total_glines(&self, n_locks: usize) -> usize {
+        self.glines * n_locks
+    }
+
+    /// Does a flat network satisfy the G-line fan-in constraint
+    /// ("up to six transmitters and one receiver", i.e. ≤ 7×7 cores)?
+    pub fn fan_in_ok(cores: usize) -> bool {
+        cores <= 49
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_for_a_square_cmp() {
+        // The paper's running 9-core example.
+        let c = GlockCost::for_cores(9);
+        assert_eq!(c.glines, 8);
+        assert_eq!(c.primary_managers, 1);
+        assert_eq!(c.secondary_managers, 3, "√C secondaries");
+        assert_eq!(c.local_controllers, 8, "C − 1 local controllers");
+        assert_eq!(c.fsx_flags, 3);
+        assert_eq!(c.fx_flags, 9);
+        assert_eq!(c.acquire_worst_cycles, 4);
+        assert_eq!(c.acquire_best_cycles, 2);
+        assert_eq!(c.release_cycles, 1);
+    }
+
+    #[test]
+    fn evaluated_32_core_cmp() {
+        let c = GlockCost::for_cores(32);
+        assert_eq!(c.glines, 31);
+        assert_eq!(c.secondary_managers, 4, "one per row of the 8×4 mesh");
+        // Two GLocks are provisioned in the evaluation.
+        assert_eq!(c.total_glines(2), 62);
+        // far below the 168-G-line network of [21] the paper cites for the
+        // negligible-area argument
+        assert!(c.total_glines(2) < 168);
+    }
+
+    #[test]
+    fn closed_form_matches_topology_for_flat_layouts() {
+        for n in [4usize, 9, 16, 25, 36, 49] {
+            let mesh = Mesh2D::near_square(n);
+            let topo = Topology::flat(mesh);
+            let a = GlockCost::for_mesh(mesh);
+            let b = GlockCost::for_topology(&topo, 1);
+            assert_eq!(a, b, "mismatch at {n} cores");
+        }
+    }
+
+    #[test]
+    fn fan_in_constraint() {
+        assert!(GlockCost::fan_in_ok(49));
+        assert!(!GlockCost::fan_in_ok(50));
+    }
+
+    #[test]
+    fn hierarchical_costs_grow_gently() {
+        let topo = Topology::hierarchical(Mesh2D::new(10, 10), 7);
+        let c = GlockCost::for_topology(&topo, 1);
+        assert_eq!(c.glines, 99, "C − 1 G-lines even hierarchically");
+        assert!(c.acquire_worst_cycles >= 6, "one extra level adds 2 cycles");
+    }
+}

@@ -1,0 +1,42 @@
+//! **GLocks** — the paper's contribution: a hardware lock mechanism for
+//! highly-contended locks built on a dedicated G-line network.
+//!
+//! Each hardware lock owns a tree of controllers connected by *G-lines*
+//! (1-bit wires that cross one chip dimension in a single cycle):
+//!
+//! * **local controllers** (`Cx`) at every core — they watch the core's
+//!   `lock_req`/`lock_rel` register flags (Figure 5) and exchange signals
+//!   with their row's manager;
+//! * **secondary lock managers** (`Sx`), one per mesh row — they arbitrate
+//!   among their row's requesters;
+//! * the **primary lock manager** (`R`) — it arbitrates among secondaries.
+//!
+//! The protocol uses exactly three 1-bit signals — `REQ`, `TOKEN`, `REL` —
+//! and grants the (unique) token in round-robin order at both levels, which
+//! yields a completely fair lock. Timing matches Table I of the paper:
+//! best-case acquire 2 cycles, worst-case 4, release 1.
+//!
+//! Module map:
+//! * [`signal`] — G-line signals and their single-cycle propagation.
+//! * [`node`] — the controller automata of Figure 6 (generalized to a tree
+//!   so the same logic drives the paper's hierarchical-scaling extension).
+//! * [`regs`] — the per-core `lock_req`/`lock_rel` register interface.
+//! * [`network`] — one lock's assembled G-line network (+ statistics).
+//! * [`topology`] — flat (≤ 49 cores) and hierarchical (> 49) layouts.
+//! * [`cost`] — the Table I hardware/software cost model.
+
+pub mod barrier;
+pub mod cost;
+pub mod network;
+pub mod pool;
+pub mod node;
+pub mod regs;
+pub mod signal;
+pub mod topology;
+
+pub use barrier::{BarrierRegs, GBarrierNetwork};
+pub use cost::GlockCost;
+pub use network::{GlockNetwork, GlockStats};
+pub use pool::{GlockPool, PoolDecision, PoolStats};
+pub use regs::GlockRegisters;
+pub use topology::Topology;

@@ -1,0 +1,333 @@
+//! The controller automata of Figure 6, generalized to an arbiter tree.
+//!
+//! The paper's flat organization is a three-level tree: local controllers
+//! (leaves) → secondary lock managers (one per mesh row) → the primary lock
+//! manager (root, which initially holds the token). The hierarchical
+//! scaling extension sketched in Section III-F simply adds one more arbiter
+//! level, so both layouts run the same automata:
+//!
+//! * An **arbiter** with the token scans its flag vector round-robin and
+//!   delegates the token to the next requesting child; when the child
+//!   returns `REL` it continues the scan; when the scan is exhausted a
+//!   non-root arbiter returns the token to its parent (Figure 4d), while
+//!   the root keeps it (and keeps its scan pointer, making the global order
+//!   cyclic — "the process would start again from Core0").
+//! * An arbiter without the token sends `REQ` to its parent as soon as any
+//!   of its flags is raised.
+//! * A **leaf** (local controller) bridges the core's `lock_req`/`lock_rel`
+//!   registers to the wires: `REQ` on request, reset of `lock_req` on
+//!   `TOKEN` (the grant), `REL` on release.
+
+use crate::regs::GlockRegisters;
+use crate::signal::{Endpoint, Sig, Wires};
+use glocks_sim_base::{CoreId, Cycle};
+
+/// A child of an arbiter node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Child {
+    /// Another arbiter (e.g. a secondary manager under the primary).
+    Arb(usize),
+    /// A core's local controller.
+    Leaf(CoreId),
+}
+
+/// A lock manager (secondary, primary, or super-primary).
+#[derive(Debug)]
+pub struct ArbiterNode {
+    /// `(parent node index, this node's child index at the parent)`;
+    /// `None` for the root, which initially holds the token.
+    pub parent: Option<(usize, usize)>,
+    pub children: Vec<Child>,
+    /// One flag per child (the paper's `fx` / `fSx` flag vectors).
+    flags: Vec<bool>,
+    has_token: bool,
+    requested: bool,
+    /// Child index the token is currently delegated to.
+    delegated: Option<usize>,
+    scan_pos: usize,
+}
+
+impl ArbiterNode {
+    pub fn new(parent: Option<(usize, usize)>, children: Vec<Child>) -> Self {
+        let n = children.len();
+        assert!(n > 0, "arbiter with no children");
+        ArbiterNode {
+            parent,
+            children,
+            flags: vec![false; n],
+            has_token: parent.is_none(),
+            requested: false,
+            delegated: None,
+            scan_pos: 0,
+        }
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    pub fn has_token(&self) -> bool {
+        self.has_token
+    }
+
+    pub fn delegated(&self) -> Option<usize> {
+        self.delegated
+    }
+
+    pub fn flags_raised(&self) -> usize {
+        self.flags.iter().filter(|&&f| f).count()
+    }
+
+    /// Deliver a signal from a child or the parent.
+    pub fn on_signal(&mut self, sig: Sig, child_index: usize) {
+        match sig {
+            Sig::Req => {
+                self.flags[child_index] = true;
+            }
+            Sig::Rel => {
+                debug_assert_eq!(
+                    self.delegated,
+                    Some(child_index),
+                    "REL from a child that was not delegated"
+                );
+                self.delegated = None;
+            }
+            Sig::Token => {
+                debug_assert!(!self.is_root(), "root never receives TOKEN");
+                debug_assert!(!self.has_token, "duplicate TOKEN");
+                self.has_token = true;
+                self.requested = false;
+                // A fresh tenure scans the flag vector from the start.
+                self.scan_pos = 0;
+            }
+        }
+    }
+
+    /// Find the next raised flag: the root scans cyclically (one full
+    /// wrap), a non-root arbiter scans only to the end of its vector.
+    fn next_flag(&self) -> Option<usize> {
+        let n = self.flags.len();
+        if self.is_root() {
+            (0..n).map(|k| (self.scan_pos + k) % n).find(|&i| self.flags[i])
+        } else {
+            (self.scan_pos..n).find(|&i| self.flags[i])
+        }
+    }
+
+    /// One cycle of the automaton. Emits at most one signal.
+    pub fn tick(&mut self, now: Cycle, latency: u64, wires: &mut Wires) {
+        if !self.has_token {
+            // [fX = 1] / SglineP := REQ
+            if !self.requested && self.flags.iter().any(|&f| f) {
+                let (p, my_idx) = self.parent.expect("tokenless node has a parent");
+                wires.send(now, latency, Endpoint::Arb(p), Sig::Req, my_idx);
+                self.requested = true;
+            }
+            return;
+        }
+        if self.delegated.is_some() {
+            return; // waiting for the child's REL
+        }
+        match self.next_flag() {
+            Some(i) => {
+                // RoundRobin() = fX / grant
+                self.flags[i] = false;
+                self.delegated = Some(i);
+                self.scan_pos = i + 1;
+                let (dst, child_index) = match self.children[i] {
+                    Child::Arb(a) => (Endpoint::Arb(a), 0),
+                    Child::Leaf(c) => (Endpoint::Leaf(c), 0),
+                };
+                wires.send(now, latency, dst, Sig::Token, child_index);
+            }
+            None => {
+                // RoundRobin() = NULL: the scan is exhausted.
+                if let Some((p, my_idx)) = self.parent {
+                    wires.send(now, latency, Endpoint::Arb(p), Sig::Rel, my_idx);
+                    self.has_token = false;
+                    self.requested = false;
+                }
+                // The root simply keeps the token.
+            }
+        }
+    }
+}
+
+/// A core's local controller state (Figure 6, bottom automaton).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafState {
+    Idle,
+    /// REQ sent; busy-waiting for TOKEN.
+    Waiting,
+    /// This core holds the lock.
+    Holding,
+}
+
+/// A core's local controller.
+#[derive(Debug)]
+pub struct LeafCtl {
+    pub core: CoreId,
+    /// `(arbiter node index, child index at that arbiter)`.
+    pub parent: (usize, usize),
+    state: LeafState,
+}
+
+impl LeafCtl {
+    pub fn new(core: CoreId, parent: (usize, usize)) -> Self {
+        LeafCtl { core, parent, state: LeafState::Idle }
+    }
+
+    pub fn state(&self) -> LeafState {
+        self.state
+    }
+
+    /// TOKEN delivery: grant the lock by resetting `lock_req` (Figure 5's
+    /// busy-wait loop falls through).
+    pub fn on_token(&mut self, regs: &GlockRegisters) {
+        debug_assert_eq!(self.state, LeafState::Waiting, "TOKEN to a non-waiting core");
+        regs.grant(self.core.index());
+        self.state = LeafState::Holding;
+    }
+
+    /// One cycle: watch the core's register pair.
+    pub fn tick(&mut self, now: Cycle, latency: u64, regs: &GlockRegisters, wires: &mut Wires) {
+        match self.state {
+            LeafState::Idle => {
+                if regs.req_raised(self.core.index()) {
+                    let (p, my_idx) = self.parent;
+                    wires.send(now, latency, Endpoint::Arb(p), Sig::Req, my_idx);
+                    self.state = LeafState::Waiting;
+                }
+            }
+            LeafState::Holding => {
+                if regs.take_rel(self.core.index()) {
+                    let (p, my_idx) = self.parent;
+                    wires.send(now, latency, Endpoint::Arb(p), Sig::Rel, my_idx);
+                    self.state = LeafState::Idle;
+                }
+            }
+            LeafState::Waiting => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::InFlight;
+
+    fn drain(wires: &mut Wires, now: Cycle) -> Vec<InFlight> {
+        let mut v = Vec::new();
+        wires.deliver_due(now, &mut v);
+        v
+    }
+
+    #[test]
+    fn root_grants_round_robin_cyclically() {
+        let mut wires = Wires::new();
+        let mut root = ArbiterNode::new(
+            None,
+            vec![Child::Leaf(CoreId(0)), Child::Leaf(CoreId(1)), Child::Leaf(CoreId(2))],
+        );
+        assert!(root.has_token());
+        root.on_signal(Sig::Req, 1);
+        root.on_signal(Sig::Req, 2);
+        root.tick(0, 1, &mut wires);
+        let d = drain(&mut wires, 1);
+        assert_eq!(d[0].dst, Endpoint::Leaf(CoreId(1)));
+        assert_eq!(d[0].sig, Sig::Token);
+        // child 1 returns the token; child 0 requests late
+        root.on_signal(Sig::Rel, 1);
+        root.on_signal(Sig::Req, 0);
+        root.tick(2, 1, &mut wires);
+        // scan continues cyclically from index 2, not restarting at 0
+        let d = drain(&mut wires, 3);
+        assert_eq!(d[0].dst, Endpoint::Leaf(CoreId(2)));
+        root.on_signal(Sig::Rel, 2);
+        root.tick(4, 1, &mut wires);
+        let d = drain(&mut wires, 5);
+        assert_eq!(d[0].dst, Endpoint::Leaf(CoreId(0)));
+    }
+
+    #[test]
+    fn root_keeps_token_when_idle() {
+        let mut wires = Wires::new();
+        let mut root = ArbiterNode::new(None, vec![Child::Leaf(CoreId(0))]);
+        root.tick(0, 1, &mut wires);
+        assert!(root.has_token());
+        assert!(wires.is_idle(), "no spurious signals");
+    }
+
+    #[test]
+    fn secondary_requests_then_single_pass_then_returns() {
+        let mut wires = Wires::new();
+        // node 1 is a secondary under root 0, child index 3 at the root
+        let mut s = ArbiterNode::new(
+            Some((0, 3)),
+            vec![Child::Leaf(CoreId(4)), Child::Leaf(CoreId(5))],
+        );
+        assert!(!s.has_token());
+        s.on_signal(Sig::Req, 1); // core 5 requests
+        s.tick(0, 1, &mut wires);
+        let d = drain(&mut wires, 1);
+        assert_eq!(d[0].dst, Endpoint::Arb(0));
+        assert_eq!(d[0].sig, Sig::Req);
+        assert_eq!(d[0].child_index, 3);
+        // no duplicate REQ while waiting
+        s.tick(1, 1, &mut wires);
+        assert!(wires.is_idle());
+        // token arrives; single pass grants core 5 then returns the token
+        s.on_signal(Sig::Token, 0);
+        s.tick(2, 1, &mut wires);
+        let d = drain(&mut wires, 3);
+        assert_eq!(d[0].dst, Endpoint::Leaf(CoreId(5)));
+        // core 4 requests *during* the tenure at an earlier index:
+        // it must wait for the next tenure (single forward pass).
+        s.on_signal(Sig::Req, 0);
+        s.on_signal(Sig::Rel, 1);
+        s.tick(4, 1, &mut wires);
+        let d = drain(&mut wires, 5);
+        assert_eq!(d[0].sig, Sig::Rel, "token returned, not re-granted");
+        assert!(!s.has_token());
+        // and it re-requests on the next cycle because a flag is raised
+        s.tick(5, 1, &mut wires);
+        let d = drain(&mut wires, 6);
+        assert_eq!(d[0].sig, Sig::Req);
+    }
+
+    #[test]
+    fn leaf_follows_figure5_discipline() {
+        let regs = GlockRegisters::new(8);
+        let mut wires = Wires::new();
+        let mut leaf = LeafCtl::new(CoreId(3), (1, 2));
+        // idle until the core raises lock_req
+        leaf.tick(0, 1, &regs, &mut wires);
+        assert!(wires.is_idle());
+        regs.set_req(3);
+        leaf.tick(1, 1, &regs, &mut wires);
+        assert_eq!(leaf.state(), LeafState::Waiting);
+        let d = drain(&mut wires, 2);
+        assert_eq!(d[0].sig, Sig::Req);
+        assert_eq!(d[0].dst, Endpoint::Arb(1));
+        assert_eq!(d[0].child_index, 2);
+        // grant resets lock_req
+        leaf.on_token(&regs);
+        assert!(!regs.req_pending(3));
+        assert_eq!(leaf.state(), LeafState::Holding);
+        // release
+        regs.set_rel(3);
+        leaf.tick(5, 1, &regs, &mut wires);
+        assert_eq!(leaf.state(), LeafState::Idle);
+        assert!(!regs.rel_pending(3), "controller consumed lock_rel");
+        let d = drain(&mut wires, 6);
+        assert_eq!(d[0].sig, Sig::Rel);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate TOKEN")]
+    fn duplicate_token_is_detected() {
+        let mut s = ArbiterNode::new(Some((0, 0)), vec![Child::Leaf(CoreId(0))]);
+        s.on_signal(Sig::Token, 0);
+        s.on_signal(Sig::Token, 0);
+    }
+}

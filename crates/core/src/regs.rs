@@ -1,0 +1,108 @@
+//! The programmer-visible GLock register interface (Figure 5).
+//!
+//! Each core gets a pair of flags per hardware lock: `lock_req` (set to
+//! request; reset by the local controller when the lock is granted — the
+//! core busy-waits on it) and `lock_rel` (set to release; reset by the
+//! controller once the REL signal is sent). The paper groups all pairs in
+//! one special lock register per core.
+//!
+//! The simulation is single-threaded, so the register file is shared
+//! between the core-side scripts and the G-line network through
+//! `Rc<GlockRegisters>` with `Cell` fields — modelling memory-mapped
+//! device registers.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The register pairs of one hardware lock, one pair per core.
+#[derive(Debug)]
+pub struct GlockRegisters {
+    lock_req: Vec<Cell<bool>>,
+    lock_rel: Vec<Cell<bool>>,
+}
+
+impl GlockRegisters {
+    pub fn new(n_cores: usize) -> Rc<Self> {
+        Rc::new(GlockRegisters {
+            lock_req: (0..n_cores).map(|_| Cell::new(false)).collect(),
+            lock_rel: (0..n_cores).map(|_| Cell::new(false)).collect(),
+        })
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.lock_req.len()
+    }
+
+    /// Core side: request the lock (`mov 1, lock_req`).
+    pub fn set_req(&self, core: usize) {
+        self.lock_req[core].set(true);
+    }
+
+    /// Core side: busy-wait test (`bnz lock_req, loop`).
+    pub fn req_pending(&self, core: usize) -> bool {
+        self.lock_req[core].get()
+    }
+
+    /// Core side: release the lock (`mov 1, lock_rel`).
+    pub fn set_rel(&self, core: usize) {
+        self.lock_rel[core].set(true);
+    }
+
+    /// Core side: is a release still being processed?
+    pub fn rel_pending(&self, core: usize) -> bool {
+        self.lock_rel[core].get()
+    }
+
+    /// Controller side: the grant — resets `lock_req`.
+    pub(crate) fn grant(&self, core: usize) {
+        self.lock_req[core].set(false);
+    }
+
+    /// Controller side: consume a pending release, if any.
+    pub(crate) fn take_rel(&self, core: usize) -> bool {
+        let v = self.lock_rel[core].get();
+        if v {
+            self.lock_rel[core].set(false);
+        }
+        v
+    }
+
+    /// Controller side: observe a pending request (left set until grant).
+    pub(crate) fn req_raised(&self, core: usize) -> bool {
+        self.lock_req[core].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grant_cycle() {
+        let r = GlockRegisters::new(4);
+        assert!(!r.req_pending(2));
+        r.set_req(2);
+        assert!(r.req_pending(2));
+        assert!(r.req_raised(2));
+        r.grant(2);
+        assert!(!r.req_pending(2), "grant resets lock_req");
+    }
+
+    #[test]
+    fn release_is_consumed_once() {
+        let r = GlockRegisters::new(2);
+        r.set_rel(1);
+        assert!(r.rel_pending(1));
+        assert!(r.take_rel(1));
+        assert!(!r.rel_pending(1));
+        assert!(!r.take_rel(1));
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let r = GlockRegisters::new(3);
+        r.set_req(0);
+        assert!(!r.req_pending(1));
+        assert!(!r.req_pending(2));
+    }
+}

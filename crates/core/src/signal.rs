@@ -1,0 +1,112 @@
+//! G-line signals and their propagation.
+//!
+//! A G-line carries one bit across one chip dimension in a single cycle
+//! (configurable via `gline_latency` for the paper's "longer-latency
+//! G-lines" scaling path). The synchronization protocol needs three signal
+//! types (Section III-B).
+
+use glocks_sim_base::{CoreId, Cycle};
+
+/// The three 1-bit signal types of the GLocks protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sig {
+    /// Ask for the lock (controller → manager, manager → parent manager).
+    Req,
+    /// Grant the lock (manager → controller / child manager).
+    Token,
+    /// Give the lock back (controller → manager, manager → parent).
+    Rel,
+}
+
+/// A signal destination inside one lock's controller tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// An arbiter node (secondary / primary / super-primary manager),
+    /// by node index.
+    Arb(usize),
+    /// A core's local controller.
+    Leaf(CoreId),
+}
+
+/// A signal in flight on a G-line.
+#[derive(Clone, Copy, Debug)]
+pub struct InFlight {
+    pub deliver_at: Cycle,
+    pub dst: Endpoint,
+    pub sig: Sig,
+    /// Sender's index within the receiver's child list (for `Req`/`Rel`
+    /// to arbiters; ignored for `Token` and leaf deliveries).
+    pub child_index: usize,
+}
+
+/// The set of signals currently on the wires of one lock's network.
+#[derive(Debug, Default)]
+pub struct Wires {
+    in_flight: Vec<InFlight>,
+    sent: u64,
+}
+
+impl Wires {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Put a signal on a G-line at cycle `now`; it is visible to the
+    /// receiver's automaton from cycle `now + latency` on.
+    pub fn send(&mut self, now: Cycle, latency: u64, dst: Endpoint, sig: Sig, child_index: usize) {
+        self.sent += 1;
+        self.in_flight.push(InFlight {
+            deliver_at: now + latency,
+            dst,
+            sig,
+            child_index,
+        });
+    }
+
+    /// Pop all signals due at `now` (in send order).
+    pub fn deliver_due(&mut self, now: Cycle, out: &mut Vec<InFlight>) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].deliver_at <= now {
+                out.push(self.in_flight.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Total signal transmissions so far (energy-model input).
+    pub fn signals_sent(&self) -> u64 {
+        self.sent
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_latency_and_order() {
+        let mut w = Wires::new();
+        w.send(10, 1, Endpoint::Arb(0), Sig::Req, 2);
+        w.send(10, 1, Endpoint::Arb(0), Sig::Rel, 3);
+        w.send(10, 2, Endpoint::Leaf(CoreId(5)), Sig::Token, 0);
+        let mut got = Vec::new();
+        w.deliver_due(10, &mut got);
+        assert!(got.is_empty());
+        w.deliver_due(11, &mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].sig, Sig::Req);
+        assert_eq!(got[1].sig, Sig::Rel);
+        got.clear();
+        w.deliver_due(12, &mut got);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].dst, Endpoint::Leaf(CoreId(5)));
+        assert!(w.is_idle());
+        assert_eq!(w.signals_sent(), 3);
+    }
+}

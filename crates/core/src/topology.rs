@@ -1,0 +1,248 @@
+//! Controller-tree layouts: the paper's flat organization (Figure 2/3) and
+//! the hierarchical scaling extension of Section III-F.
+
+use crate::node::Child;
+use glocks_sim_base::Mesh2D;
+
+/// One arbiter's blueprint: `(parent link, children)`, where the parent
+/// link is `(parent index, child index at the parent)`.
+pub type ArbiterSpec = (Option<(usize, usize)>, Vec<Child>);
+
+/// A blueprint of one lock's controller tree.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Per arbiter. Index 0 is the root (primary lock manager).
+    pub arbiters: Vec<ArbiterSpec>,
+    /// Per core: `(arbiter index, child index)` of its local controller.
+    pub leaf_parent: Vec<(usize, usize)>,
+    /// Number of cores.
+    pub n_cores: usize,
+}
+
+impl Topology {
+    /// The paper's flat layout: one secondary lock manager per mesh row,
+    /// one primary manager over them. Supported "up to 7×7 cores" by the
+    /// 6-transmitter G-line fan-in constraint; larger CMPs should use
+    /// [`Topology::hierarchical`].
+    pub fn flat(mesh: Mesh2D) -> Self {
+        let n_cores = mesh.len();
+        assert!(
+            n_cores <= 49,
+            "flat GLock networks support up to 7×7 cores (Section III-F); \
+             use Topology::hierarchical for {n_cores} cores"
+        );
+        let rows = mesh.rows();
+        let mut arbiters: Vec<ArbiterSpec> = Vec::new();
+        // Root first (primary lock manager).
+        arbiters.push((None, Vec::new()));
+        let mut leaf_parent = vec![(0usize, 0usize); n_cores];
+        for y in 0..rows {
+            let arb_idx = arbiters.len();
+            let children: Vec<Child> = mesh
+                .row(y)
+                .map(|t| Child::Leaf(glocks_sim_base::CoreId(t.0)))
+                .collect();
+            for (ci, child) in children.iter().enumerate() {
+                if let Child::Leaf(core) = child {
+                    leaf_parent[core.index()] = (arb_idx, ci);
+                }
+            }
+            let root_child_idx = arbiters[0].1.len();
+            arbiters[0].1.push(Child::Arb(arb_idx));
+            arbiters.push((Some((0, root_child_idx)), children));
+        }
+        Topology { arbiters, leaf_parent, n_cores }
+    }
+
+    /// The hierarchical extension: build a tree where no arbiter has more
+    /// than `max_fan_in` children (the G-line transmitter limit plus the
+    /// co-located receiver: 7 in the paper), by splitting rows into
+    /// segments and stacking arbiter levels until a single root remains.
+    pub fn hierarchical(mesh: Mesh2D, max_fan_in: usize) -> Self {
+        assert!(max_fan_in >= 2);
+        let n_cores = mesh.len();
+        let mut arbiters: Vec<ArbiterSpec> = Vec::new();
+        let mut leaf_parent = vec![(0usize, 0usize); n_cores];
+        // Level 0: segment each row into groups of ≤ max_fan_in cores.
+        let mut level: Vec<usize> = Vec::new();
+        for y in 0..mesh.rows() {
+            let row: Vec<_> = mesh.row(y).collect();
+            for seg in row.chunks(max_fan_in) {
+                let idx = arbiters.len();
+                let children: Vec<Child> = seg
+                    .iter()
+                    .map(|t| Child::Leaf(glocks_sim_base::CoreId(t.0)))
+                    .collect();
+                for (ci, t) in seg.iter().enumerate() {
+                    leaf_parent[t.index()] = (idx, ci);
+                }
+                arbiters.push((None, children)); // parent patched below
+                level.push(idx);
+            }
+        }
+        // Stack levels of arbiters until one root remains.
+        while level.len() > 1 {
+            let mut next: Vec<usize> = Vec::new();
+            for group in level.chunks(max_fan_in) {
+                let idx = arbiters.len();
+                let children: Vec<Child> = group.iter().map(|&a| Child::Arb(a)).collect();
+                for (ci, &a) in group.iter().enumerate() {
+                    arbiters[a].0 = Some((idx, ci));
+                }
+                arbiters.push((None, children));
+                next.push(idx);
+            }
+            level = next;
+        }
+        // Move the root to index 0 (the network assumes arbiter 0 = root).
+        let root = level[0];
+        if root != 0 {
+            arbiters.swap(0, root);
+            // Fix references to the two swapped indices.
+            let fix = |i: usize| if i == root { 0 } else if i == 0 { root } else { i };
+            for (parent, children) in arbiters.iter_mut() {
+                if let Some((p, ci)) = parent {
+                    *parent = Some((fix(*p), *ci));
+                }
+                for c in children.iter_mut() {
+                    if let Child::Arb(a) = c {
+                        *c = Child::Arb(fix(*a));
+                    }
+                }
+            }
+            for lp in leaf_parent.iter_mut() {
+                lp.0 = fix(lp.0);
+            }
+        }
+        Topology { arbiters, leaf_parent, n_cores }
+    }
+
+    /// Number of arbiter (manager) nodes.
+    pub fn n_arbiters(&self) -> usize {
+        self.arbiters.len()
+    }
+
+    /// Tree depth in arbiter levels (flat = 2: secondaries + primary).
+    pub fn depth(&self) -> usize {
+        fn depth_of(t: &Topology, a: usize) -> usize {
+            1 + t.arbiters[a]
+                .1
+                .iter()
+                .map(|c| match c {
+                    Child::Arb(i) => depth_of(t, *i),
+                    Child::Leaf(_) => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth_of(self, 0)
+    }
+
+    /// Number of G-lines this network needs. Every controller (leaf or
+    /// arbiter) has a dedicated line to its manager except the one
+    /// co-located with it, giving the paper's `C − 1` for the flat layout.
+    pub fn gline_count(&self) -> usize {
+        // edges = leaves + (arbiters − 1); co-locations = arbiters.
+        self.n_cores + self.n_arbiters() - 1 - self.n_arbiters()
+    }
+
+    /// Worst-case acquire latency in cycles (Table I: 4 for the flat
+    /// layout): one REQ per level up, one TOKEN per level down.
+    pub fn worst_case_acquire(&self, gline_latency: u64) -> u64 {
+        2 * self.depth() as u64 * gline_latency
+    }
+
+    /// Best-case acquire latency (Table I: 2): REQ to the row manager that
+    /// is actively scanning, TOKEN straight back.
+    pub fn best_case_acquire(&self, gline_latency: u64) -> u64 {
+        2 * gline_latency
+    }
+
+    /// Internal consistency check (tests).
+    pub fn validate(&self) {
+        assert!(self.arbiters[0].0.is_none(), "arbiter 0 must be the root");
+        let mut seen_leaves = vec![false; self.n_cores];
+        for (i, (parent, children)) in self.arbiters.iter().enumerate() {
+            assert!(!children.is_empty());
+            if i != 0 {
+                let (p, ci) = parent.expect("non-root must have a parent");
+                assert_eq!(self.arbiters[p].1[ci], Child::Arb(i), "parent link broken");
+            }
+            for (ci, c) in children.iter().enumerate() {
+                if let Child::Leaf(core) = c {
+                    assert!(!seen_leaves[core.index()], "core attached twice");
+                    seen_leaves[core.index()] = true;
+                    assert_eq!(self.leaf_parent[core.index()], (i, ci));
+                }
+            }
+        }
+        assert!(seen_leaves.iter().all(|&s| s), "every core must be attached");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_9_core_matches_paper_example() {
+        let t = Topology::flat(Mesh2D::new(3, 3));
+        t.validate();
+        assert_eq!(t.n_arbiters(), 4, "primary + 3 secondaries");
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.gline_count(), 8, "Table I: C − 1 G-lines");
+        assert_eq!(t.worst_case_acquire(1), 4, "Table I worst case");
+        assert_eq!(t.best_case_acquire(1), 2, "Table I best case");
+    }
+
+    #[test]
+    fn flat_32_core_baseline() {
+        let t = Topology::flat(Mesh2D::new(8, 4));
+        t.validate();
+        assert_eq!(t.n_arbiters(), 5, "primary + 4 row secondaries");
+        assert_eq!(t.gline_count(), 31);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 7×7")]
+    fn flat_rejects_large_cmps() {
+        let _ = Topology::flat(Mesh2D::new(8, 8));
+    }
+
+    #[test]
+    fn hierarchical_64_cores() {
+        let t = Topology::hierarchical(Mesh2D::new(8, 8), 7);
+        t.validate();
+        assert!(t.depth() >= 3, "64 cores need an extra level");
+        assert_eq!(t.gline_count(), 63, "C − 1 still holds");
+        for (_, children) in &t.arbiters {
+            assert!(children.len() <= 7, "fan-in constraint respected");
+        }
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_depth_when_small() {
+        let t = Topology::hierarchical(Mesh2D::new(3, 3), 7);
+        t.validate();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.worst_case_acquire(1), 4);
+    }
+
+    #[test]
+    fn hierarchical_100_cores() {
+        let t = Topology::hierarchical(Mesh2D::new(10, 10), 7);
+        t.validate();
+        assert_eq!(t.gline_count(), 99);
+        for (_, children) in &t.arbiters {
+            assert!(children.len() <= 7);
+        }
+    }
+
+    #[test]
+    fn single_core_degenerates() {
+        let t = Topology::flat(Mesh2D::new(1, 1));
+        t.validate();
+        assert_eq!(t.gline_count(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests of the GLock G-line network: under arbitrary
+//! request/hold/release schedules the token stays unique, every request is
+//! eventually granted, and saturated rounds are round-robin fair.
+
+use glocks::{GlockNetwork, Topology};
+use glocks_sim_base::{Mesh2D, SplitMix64};
+use proptest::prelude::*;
+
+/// Drive a network with a random schedule derived from `seed`:
+/// each core requests `rounds` times with random think/hold times.
+fn drive(topo: &Topology, latency: u64, seed: u64, rounds: u32) -> GlockNetwork {
+    let n = topo.n_cores;
+    let mut net = GlockNetwork::new(topo, latency);
+    let regs = net.regs();
+    let mut rng = SplitMix64::new(seed);
+    // Per-core plan: remaining rounds, state (0 idle-wait, 1 requested,
+    // 2 holding), and a timer.
+    let mut left = vec![rounds; n];
+    let mut state = vec![0u8; n];
+    let mut timer: Vec<u64> = (0..n).map(|_| rng.next_below(20)).collect();
+    let mut now = 0u64;
+    let mut total_grants_expected = 0u64;
+    for l in &left {
+        total_grants_expected += *l as u64;
+    }
+    let mut grants_seen = 0u64;
+    while grants_seen < total_grants_expected {
+        for c in 0..n {
+            match state[c] {
+                0 => {
+                    if left[c] > 0 {
+                        if timer[c] == 0 {
+                            regs.set_req(c);
+                            state[c] = 1;
+                        } else {
+                            timer[c] -= 1;
+                        }
+                    }
+                }
+                1 => {
+                    if !regs.req_pending(c) {
+                        // granted
+                        grants_seen += 1;
+                        state[c] = 2;
+                        timer[c] = rng.next_below(12);
+                    }
+                }
+                _ => {
+                    if timer[c] == 0 {
+                        regs.set_rel(c);
+                        left[c] -= 1;
+                        state[c] = 0;
+                        timer[c] = rng.next_below(20);
+                    } else {
+                        timer[c] -= 1;
+                    }
+                }
+            }
+        }
+        net.tick(now);
+        net.assert_token_invariants();
+        // Mutual exclusion at the register level: at most one core can be
+        // in the "holding" state per the network's view.
+        now += 1;
+        assert!(
+            now < 1_000_000,
+            "protocol stalled at {grants_seen}/{total_grants_expected} grants"
+        );
+    }
+    // Let the final holder release and the wires drain.
+    while state.iter().any(|&s| s != 0) {
+        for c in 0..n {
+            match state[c] {
+                2 => {
+                    if timer[c] == 0 {
+                        regs.set_rel(c);
+                        left[c] -= 1;
+                        state[c] = 0;
+                    } else {
+                        timer[c] -= 1;
+                    }
+                }
+                1
+                    if !regs.req_pending(c) => {
+                        state[c] = 2;
+                        timer[c] = 0;
+                    }
+                _ => {}
+            }
+        }
+        net.tick(now);
+        now += 1;
+        assert!(now < 2_000_000, "drain stalled");
+    }
+    for t in now..now + 100 {
+        net.tick(t);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_schedules_preserve_liveness_and_uniqueness(
+        seed in any::<u64>(),
+        cols in 2u16..6,
+        rows in 1u16..5,
+        latency in 1u64..3,
+        rounds in 1u32..5,
+    ) {
+        let topo = Topology::flat(Mesh2D::new(cols, rows));
+        let net = drive(&topo, latency, seed, rounds);
+        prop_assert!(net.is_idle(), "network must drain");
+        prop_assert_eq!(
+            net.stats().grants,
+            (cols as u64 * rows as u64) * rounds as u64
+        );
+    }
+
+    #[test]
+    fn hierarchical_topologies_behave_identically(
+        seed in any::<u64>(),
+        n in 2usize..80,
+    ) {
+        let mesh = Mesh2D::near_square(n);
+        let topo = Topology::hierarchical(mesh, 7);
+        topo.validate();
+        let net = drive(&topo, 1, seed, 2);
+        prop_assert!(net.is_idle());
+        prop_assert_eq!(net.stats().grants, n as u64 * 2);
+    }
+}
+
+#[test]
+fn saturated_rounds_are_round_robin_fair() {
+    // Deterministic saturation check over several sizes: in every full
+    // round each core is granted exactly once.
+    for n in [4usize, 9, 32] {
+        let topo = Topology::flat(Mesh2D::near_square(n));
+        let mut net = GlockNetwork::new(&topo, 1);
+        let regs = net.regs();
+        let rounds = 3;
+        let mut remaining = vec![rounds; n];
+        for c in 0..n {
+            regs.set_req(c);
+        }
+        let mut now = 0u64;
+        while net.stats().grants < (n * rounds) as u64 {
+            net.tick(now);
+            if let Some(h) = net.holder() {
+                let c = h.index();
+                regs.set_rel(c);
+                remaining[c] -= 1;
+                if remaining[c] > 0 {
+                    regs.set_req(c);
+                }
+            }
+            now += 1;
+            assert!(now < 200_000);
+        }
+        let log = net.grant_log();
+        for r in 0..rounds {
+            let mut round: Vec<u16> = log[r * n..(r + 1) * n].iter().map(|c| c.0).collect();
+            round.sort_unstable();
+            assert_eq!(round, (0..n as u16).collect::<Vec<_>>(), "{n} cores, round {r}");
+        }
+    }
+}

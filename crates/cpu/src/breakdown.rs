@@ -1,0 +1,97 @@
+//! Per-thread execution-time attribution — Figure 8's four categories.
+
+/// Where a core cycle is spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Computation ("Busy").
+    Busy,
+    /// Waiting on workload memory operations ("Memory").
+    Memory,
+    /// Inside lock acquire/release ("Lock").
+    Lock,
+    /// Inside a barrier episode ("Barrier").
+    Barrier,
+}
+
+/// Cycle counts per category for one thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    pub busy: u64,
+    pub memory: u64,
+    pub lock: u64,
+    pub barrier: u64,
+    /// Dynamic instructions executed (energy-model input).
+    pub instructions: u64,
+}
+
+impl Breakdown {
+    #[inline]
+    pub fn charge(&mut self, cat: Category, cycles: u64) {
+        match cat {
+            Category::Busy => self.busy += cycles,
+            Category::Memory => self.memory += cycles,
+            Category::Lock => self.lock += cycles,
+            Category::Barrier => self.barrier += cycles,
+        }
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.memory + self.lock + self.barrier
+    }
+
+    /// Element-wise sum (for fleet averages).
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.busy += other.busy;
+        self.memory += other.memory;
+        self.lock += other.lock;
+        self.barrier += other.barrier;
+        self.instructions += other.instructions;
+    }
+
+    /// Fractions of the total per category
+    /// `[busy, memory, lock, barrier]`; zeros if nothing attributed.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        [
+            self.busy as f64 / t as f64,
+            self.memory as f64 / t as f64,
+            self.lock as f64 / t as f64,
+            self.barrier as f64 / t as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut b = Breakdown::default();
+        b.charge(Category::Busy, 10);
+        b.charge(Category::Lock, 30);
+        b.charge(Category::Memory, 40);
+        b.charge(Category::Barrier, 20);
+        assert_eq!(b.total(), 100);
+        let f = b.fractions();
+        assert_eq!(f, [0.1, 0.4, 0.3, 0.2]);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(Breakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Breakdown { busy: 1, memory: 2, lock: 3, barrier: 4, instructions: 5 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.instructions, 10);
+    }
+}

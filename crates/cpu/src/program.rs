@@ -1,0 +1,105 @@
+//! Thread programs, scripts and backend traits.
+
+use glocks_mem::MemOp;
+use glocks_sim_base::{LockId, ThreadId};
+
+/// What a workload thread asks its core to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Execute `n` instructions of pure computation
+    /// (`ceil(n / issue_width)` cycles on the 2-way core).
+    Compute(u64),
+    /// Issue one memory operation and wait for it.
+    Mem(MemOp),
+    /// Acquire a workload lock. The lock mapping decides whether this is a
+    /// software algorithm or a hardware GLock.
+    Acquire(LockId),
+    /// Release a workload lock.
+    Release(LockId),
+    /// Wait at the global barrier.
+    Barrier,
+    /// This thread has finished the parallel phase.
+    Done,
+}
+
+/// What a lock/barrier script asks the core to do next. Scripts interact
+/// with devices (GLock registers, ideal-lock queues) through shared state
+/// they carry internally, so only two primitive step kinds are needed —
+/// exactly mirroring Figure 5, where `GL_Lock` is a register write plus a
+/// branch loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Execute `n` instructions (polling loops yield `Compute(1)` per
+    /// iteration).
+    Compute(u64),
+    /// Issue one memory operation and wait for it; the script is resumed
+    /// with the loaded/old value.
+    Mem(MemOp),
+    /// The script has finished (lock acquired / released / barrier passed).
+    Done,
+}
+
+/// A resumable sub-program (one lock acquire, one release, one barrier
+/// episode). `resume` is called with the result of the previously returned
+/// step (the loaded/old value of a `Mem` step, else 0).
+pub trait Script {
+    fn resume(&mut self, last: u64) -> Step;
+}
+
+/// A workload thread: one instance per simulated thread. `next` is called
+/// when the previous action completed; `last` carries the value of a
+/// completed `Mem` action (else 0).
+pub trait Workload {
+    fn next(&mut self, last: u64) -> Action;
+}
+
+/// A lock implementation: manufactures acquire/release scripts. Backends
+/// share state among threads internally (e.g. the MCS tail pointer is a
+/// simulated memory address; the GLock backend holds the per-core register
+/// files).
+pub trait LockBackend {
+    fn acquire(&self, tid: ThreadId) -> Box<dyn Script>;
+    fn release(&self, tid: ThreadId) -> Box<dyn Script>;
+    /// Short name for reports ("MCS", "GLock", "TATAS", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// A barrier implementation: manufactures one wait-episode script per call.
+pub trait BarrierBackend {
+    fn wait(&self, tid: ThreadId) -> Box<dyn Script>;
+}
+
+/// A trivial script that finishes after a fixed instruction count —
+/// useful for ideal devices and tests.
+pub struct FixedScript {
+    left: Option<u64>,
+}
+
+impl FixedScript {
+    /// A script costing `instructions` then done.
+    pub fn new(instructions: u64) -> Self {
+        FixedScript { left: Some(instructions) }
+    }
+}
+
+impl Script for FixedScript {
+    fn resume(&mut self, _last: u64) -> Step {
+        match self.left.take() {
+            Some(n) => Step::Compute(n),
+            None => Step::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_script_runs_once() {
+        let mut s = FixedScript::new(3);
+        assert_eq!(s.resume(0), Step::Compute(3));
+        assert_eq!(s.resume(0), Step::Done);
+        assert_eq!(s.resume(0), Step::Done);
+    }
+}

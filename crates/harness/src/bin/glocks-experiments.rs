@@ -1,0 +1,154 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! glocks-experiments [EXPERIMENT ...] [--quick] [--threads N] [--csv DIR]
+//!
+//! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
+//!           | table1 | table2 | table3 | table4 | ablations | multiprog
+//! --quick     reduced input sizes (seconds instead of minutes)
+//! --threads N CMP size for the main experiments (default 32)
+//! --csv DIR   additionally write each table as DIR/<experiment>.csv
+//! ```
+
+use glocks_harness::{ablation, exp::ExpOptions, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4};
+use std::time::Instant;
+
+fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
+    if let Some(d) = dir {
+        let _ = std::fs::create_dir_all(d);
+        let path = format!("{d}/{name}.csv");
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("failed to write {path}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOptions::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|stats]... [--quick] [--threads N] [--csv DIR]"
+                );
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = [
+            "table1", "table2", "table3", "fig1", "fig7", "fig8", "table4", "fig9", "fig10",
+            "ablations", "multiprog",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for name in &selected {
+        let t0 = Instant::now();
+        match name.as_str() {
+            "table1" => {
+                let t = table1::run();
+                println!("{}", t.render());
+                write_csv(&csv_dir, "table1", &t);
+            }
+            "table2" => {
+                let t = table2::run();
+                println!("{}", t.render());
+                write_csv(&csv_dir, "table2", &t);
+            }
+            "table3" => {
+                let t = table3::run(&opts);
+                println!("{}", t.render());
+                write_csv(&csv_dir, "table3", &t);
+            }
+            "fig1" => {
+                let t = fig1::run(&opts).0;
+                println!("{}", t.render());
+                write_csv(&csv_dir, "fig1", &t);
+            }
+            "fig7" => {
+                let t = fig7::run(&opts).0;
+                println!("{}", t.render());
+                write_csv(&csv_dir, "fig7", &t);
+                if csv_dir.is_some() {
+                    // full per-grAC matrix for replotting the 3D figure
+                    write_csv(&csv_dir, "fig7_full", &fig7::full_matrix(&opts));
+                }
+            }
+            "fig8" => {
+                let (t, rows) = fig8::run(&opts);
+                println!("{}", t.render());
+                println!("{}", fig8::chart(&rows));
+                write_csv(&csv_dir, "fig8", &t);
+                let (m, a) = fig8::average_reductions(&rows);
+                println!(
+                    "average execution-time reduction: micro {:.0}%, apps {:.0}% (paper: 42% / 14%)\n",
+                    m * 100.0,
+                    a * 100.0
+                );
+            }
+            "table4" => {
+                let t = table4::run(&opts).0;
+                println!("{}", t.render());
+                write_csv(&csv_dir, "table4", &t);
+            }
+            "fig9" => {
+                let (t, rows) = fig9::run(&opts);
+                println!("{}", t.render());
+                println!("{}", fig9::chart(&rows));
+                write_csv(&csv_dir, "fig9", &t);
+            }
+            "fig10" => {
+                let (t, rows) = fig10::run(&opts);
+                println!("{}", t.render());
+                println!("{}", fig10::chart(&rows));
+                write_csv(&csv_dir, "fig10", &t);
+            }
+            "stats" => {
+                use glocks_harness::exp::{glock_mapping, run_bench};
+                use glocks_workloads::BenchKind;
+                for kind in BenchKind::ALL {
+                    let bench = opts.bench(kind);
+                    let r = run_bench(&bench, &glock_mapping(&bench));
+                    println!("--- {} under GLocks ---", kind.name());
+                    println!("{}", glocks_sim::summary::render(&r.report));
+                }
+            }
+            "multiprog" => {
+                let t = multiprog::run_study(&opts);
+                println!("{}", t.render());
+                write_csv(&csv_dir, "multiprog", &t);
+            }
+            "ablations" => {
+                println!("{}", ablation::algorithm_sweep(&opts).render());
+                println!("{}", ablation::gline_latency_sweep(&opts).render());
+                println!("{}", ablation::hierarchy_study(&opts).render());
+                println!("{}", ablation::fairness_study(&opts).render());
+                println!("{}", ablation::dynamic_sharing_study(&opts).render());
+                println!("{}", ablation::barrier_study(&opts).render());
+                println!("{}", ablation::energy_sensitivity(&opts).render());
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared experiment plumbing: configure → run → verify → report.
+
+use glocks_locks::LockAlgorithm;
+use glocks_sim::{LockMapping, SimReport, Simulation, SimulationOptions};
+use glocks_sim_base::CmpConfig;
+use glocks_workloads::{BenchConfig, BenchKind};
+
+/// Global experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOptions {
+    /// Use reduced input sizes (fast CI runs) instead of Table III sizes.
+    pub quick: bool,
+    /// Cores for the main experiments (the paper's baseline is 32).
+    pub threads: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { quick: false, threads: 32 }
+    }
+}
+
+impl ExpOptions {
+    pub fn bench(&self, kind: BenchKind) -> BenchConfig {
+        self.bench_on(kind, self.threads)
+    }
+
+    pub fn bench_on(&self, kind: BenchKind, threads: usize) -> BenchConfig {
+        if self.quick {
+            BenchConfig::smoke(kind, threads)
+        } else {
+            BenchConfig::paper(kind, threads)
+        }
+    }
+}
+
+/// One verified simulation run.
+pub struct RunResult {
+    pub kind: BenchKind,
+    pub label: &'static str,
+    pub threads: usize,
+    pub report: SimReport,
+}
+
+/// Run `kind` with the given lock mapping; panics if the benchmark's
+/// verifier rejects the final memory (every experiment doubles as a
+/// correctness test).
+pub fn run_bench(bench: &BenchConfig, mapping: &LockMapping) -> RunResult {
+    let inst = bench.build();
+    let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
+    let sim = Simulation::new(
+        &cfg,
+        mapping,
+        inst.workloads,
+        &inst.init,
+        SimulationOptions::default(),
+    );
+    let (report, mem) = sim.run();
+    if let Err(e) = (inst.verify)(mem.store()) {
+        panic!(
+            "{:?} with {} failed verification: {e}",
+            bench.kind,
+            mapping.label()
+        );
+    }
+    RunResult {
+        kind: bench.kind,
+        label: mapping.label(),
+        threads: bench.threads,
+        report,
+    }
+}
+
+/// The paper's two principal configurations for a benchmark.
+pub fn mcs_mapping(bench: &BenchConfig) -> LockMapping {
+    LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Mcs, bench.n_locks())
+}
+
+pub fn glock_mapping(bench: &BenchConfig) -> LockMapping {
+    LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_report() {
+        let opts = ExpOptions { quick: true, threads: 4 };
+        let bench = opts.bench(BenchKind::Sctr);
+        let r = run_bench(&bench, &mcs_mapping(&bench));
+        assert!(r.report.cycles > 0);
+        assert_eq!(r.label, "MCS");
+    }
+}

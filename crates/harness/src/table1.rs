@@ -1,0 +1,71 @@
+//! Table I: HW/SW cost of GLocks for 2D-mesh CMP layouts, instantiated for
+//! a range of core counts, plus the hierarchical >49-core extension.
+
+use glocks::{GlockCost, Topology};
+use glocks_sim_base::table::TextTable;
+use glocks_sim_base::Mesh2D;
+
+pub fn run() -> TextTable {
+    let mut t = TextTable::new("Table I — HW/SW cost of GLocks per lock").header([
+        "cores",
+        "layout",
+        "G-lines",
+        "primary",
+        "secondary",
+        "local ctl",
+        "fSx flags",
+        "fx flags",
+        "acq worst",
+        "acq best",
+        "release",
+    ]);
+    for n in [4usize, 9, 16, 25, 32, 36, 49] {
+        let mesh = Mesh2D::near_square(n);
+        let c = GlockCost::for_mesh(mesh);
+        t.row([
+            n.to_string(),
+            format!("{}x{} flat", mesh.cols(), mesh.rows()),
+            c.glines.to_string(),
+            c.primary_managers.to_string(),
+            c.secondary_managers.to_string(),
+            c.local_controllers.to_string(),
+            c.fsx_flags.to_string(),
+            c.fx_flags.to_string(),
+            format!("{} cycles", c.acquire_worst_cycles),
+            format!("{} cycles", c.acquire_best_cycles),
+            format!("{} cycle", c.release_cycles),
+        ]);
+    }
+    for n in [64usize, 100] {
+        let mesh = Mesh2D::near_square(n);
+        let topo = Topology::hierarchical(mesh, 7);
+        let c = GlockCost::for_topology(&topo, 1);
+        t.row([
+            n.to_string(),
+            format!("{}x{} hier", mesh.cols(), mesh.rows()),
+            c.glines.to_string(),
+            c.primary_managers.to_string(),
+            c.secondary_managers.to_string(),
+            c.local_controllers.to_string(),
+            c.fsx_flags.to_string(),
+            c.fx_flags.to_string(),
+            format!("{} cycles", c.acquire_worst_cycles),
+            format!("{} cycles", c.acquire_best_cycles),
+            format!("{} cycle", c.release_cycles),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_every_row() {
+        let t = super::run();
+        assert_eq!(t.n_rows(), 9);
+        let s = t.render();
+        assert!(s.contains("3x3 flat"));
+        assert!(s.contains("8x4 flat"));
+        assert!(s.contains("hier"));
+    }
+}

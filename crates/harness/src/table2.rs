@@ -1,0 +1,79 @@
+//! Table II: the CMP baseline configuration (echoed from `CmpConfig` so a
+//! report always states exactly what was simulated).
+
+use glocks_sim_base::table::TextTable;
+use glocks_sim_base::CmpConfig;
+
+pub fn run() -> TextTable {
+    let c = CmpConfig::paper_baseline();
+    let mut t = TextTable::new("Table II — CMP baseline configuration").header(["parameter", "value"]);
+    t.row(["Number of cores".to_string(), c.num_cores.to_string()]);
+    t.row([
+        "Core".to_string(),
+        format!(
+            "{} GHz, in-order {}-way model",
+            c.clock_hz / 1_000_000_000,
+            c.issue_width
+        ),
+    ]);
+    t.row(["Cache line size".to_string(), format!("{} Bytes", c.line_bytes)]);
+    t.row([
+        "L1 I/D-Cache".to_string(),
+        format!(
+            "{}KB, {}-way, {} cycles",
+            c.l1.size_bytes / 1024,
+            c.l1.ways,
+            c.l1.total_latency()
+        ),
+    ]);
+    t.row([
+        "L2 Cache (per core)".to_string(),
+        format!(
+            "{}KB, {}-way, {}+{} cycles",
+            c.l2.size_bytes / 1024,
+            c.l2.ways,
+            c.l2.latency,
+            c.l2.extra_data_latency
+        ),
+    ]);
+    t.row([
+        "Memory access time".to_string(),
+        format!("{} cycles", c.mem_latency),
+    ]);
+    t.row([
+        "Network configuration".to_string(),
+        format!("2D-mesh ({}x{})", c.mesh().cols(), c.mesh().rows()),
+    ]);
+    t.row([
+        "Network bandwidth".to_string(),
+        format!(
+            "{} B/cycle @ {} GHz (the paper quotes 75 GB/s)",
+            c.noc.link_bytes,
+            c.clock_hz / 1_000_000_000
+        ),
+    ]);
+    t.row(["Link width".to_string(), format!("{} bytes", c.noc.link_bytes)]);
+    t.row([
+        "Hardware GLocks".to_string(),
+        format!(
+            "{} (G-line latency {} cycle)",
+            c.glocks.num_hw_locks, c.glocks.gline_latency
+        ),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn echoes_table_ii_values() {
+        let s = super::run().render();
+        assert!(s.contains("32"));
+        assert!(s.contains("3 GHz, in-order 2-way model"));
+        assert!(s.contains("32KB, 4-way, 2 cycles"));
+        assert!(s.contains("256KB, 4-way, 12+4 cycles"));
+        assert!(s.contains("400 cycles"));
+        assert!(s.contains("75 B/cycle @ 3 GHz"));
+        assert!(s.contains("75 bytes"));
+    }
+}

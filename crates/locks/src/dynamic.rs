@@ -1,0 +1,190 @@
+//! Dynamically-shared GLocks (Section V future work): every workload lock
+//! uses this backend; acquires consult the hardware binding table
+//! ([`glocks::pool::GlockPool`]) and run either on a physical G-line
+//! network or on the TATAS software fallback. Highly-contended locks end
+//! up capturing the physical GLocks automatically — no programmer
+//! annotation of "which locks are hot" is needed.
+
+use crate::tatas::TatasLock;
+use glocks::pool::{GlockPool, PoolDecision};
+use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::{Addr, ThreadId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Cycles to consult the binding table at the lock unit.
+const POOL_CONSULT_INSTRS: u64 = 4;
+
+/// One workload lock under dynamic hardware sharing.
+pub struct DynamicGlockBackend {
+    pool: Rc<GlockPool>,
+    logical: u16,
+    fallback: TatasLock,
+    /// Which regime each thread's *current* acquire used, so its release
+    /// takes the same path (shared with the in-flight acquire script).
+    path: Vec<Rc<Cell<Option<PoolDecision>>>>,
+}
+
+impl DynamicGlockBackend {
+    /// `base` is the software fallback's memory region.
+    pub fn new(pool: Rc<GlockPool>, logical: u16, base: Addr, n_threads: usize) -> Self {
+        DynamicGlockBackend {
+            pool,
+            logical,
+            fallback: TatasLock::tatas(base),
+            path: (0..n_threads).map(|_| Rc::new(Cell::new(None))).collect(),
+        }
+    }
+}
+
+enum AcqPhase {
+    Consult,
+    GlockSet(usize),
+    GlockSpin(usize),
+    Fallback,
+}
+
+struct DynAcquire {
+    pool: Rc<GlockPool>,
+    logical: u16,
+    tid: ThreadId,
+    phase: AcqPhase,
+    /// Pre-built software-fallback acquire (used only on a spill).
+    inner: Box<dyn Script>,
+    path_out: Rc<Cell<Option<PoolDecision>>>,
+}
+
+impl Script for DynAcquire {
+    fn resume(&mut self, last: u64) -> Step {
+        match self.phase {
+            AcqPhase::Consult => {
+                let decision = self.pool.begin_acquire(self.logical);
+                self.path_out.set(Some(decision));
+                match decision {
+                    PoolDecision::Hardware(k) => self.phase = AcqPhase::GlockSet(k),
+                    PoolDecision::Software => self.phase = AcqPhase::Fallback,
+                }
+                Step::Compute(POOL_CONSULT_INSTRS)
+            }
+            AcqPhase::GlockSet(k) => {
+                self.pool.regs(k).set_req(self.tid.index());
+                self.phase = AcqPhase::GlockSpin(k);
+                Step::Compute(1)
+            }
+            AcqPhase::GlockSpin(k) => {
+                if self.pool.regs(k).req_pending(self.tid.index()) {
+                    Step::Compute(1)
+                } else {
+                    Step::Done
+                }
+            }
+            AcqPhase::Fallback => self.inner.resume(last),
+        }
+    }
+}
+
+enum RelPhase {
+    Start,
+    GlockDone,
+    Fallback,
+}
+
+struct DynRelease {
+    pool: Rc<GlockPool>,
+    logical: u16,
+    tid: ThreadId,
+    decision: PoolDecision,
+    phase: RelPhase,
+    inner: Option<Box<dyn Script>>,
+}
+
+impl Script for DynRelease {
+    fn resume(&mut self, last: u64) -> Step {
+        match self.phase {
+            RelPhase::Start => match self.decision {
+                PoolDecision::Hardware(k) => {
+                    self.pool.regs(k).set_rel(self.tid.index());
+                    self.phase = RelPhase::GlockDone;
+                    Step::Compute(1)
+                }
+                PoolDecision::Software => {
+                    self.phase = RelPhase::Fallback;
+                    self.resume(last)
+                }
+            },
+            RelPhase::GlockDone => {
+                self.pool.end_release(self.logical);
+                Step::Done
+            }
+            RelPhase::Fallback => {
+                let step = self.inner.as_mut().expect("fallback release").resume(last);
+                if matches!(step, Step::Done) {
+                    self.pool.end_release(self.logical);
+                }
+                step
+            }
+        }
+    }
+}
+
+impl LockBackend for DynamicGlockBackend {
+    fn acquire(&self, tid: ThreadId) -> Box<dyn Script> {
+        Box::new(DynAcquire {
+            pool: Rc::clone(&self.pool),
+            logical: self.logical,
+            tid,
+            phase: AcqPhase::Consult,
+            inner: self.fallback.acquire(tid),
+            path_out: Rc::clone(&self.path[tid.index()]),
+        })
+    }
+
+    fn release(&self, tid: ThreadId) -> Box<dyn Script> {
+        let decision = self.path[tid.index()]
+            .take()
+            .expect("release without a recorded acquire path");
+        let inner = matches!(decision, PoolDecision::Software)
+            .then(|| self.fallback.release(tid));
+        Box::new(DynRelease {
+            pool: Rc::clone(&self.pool),
+            logical: self.logical,
+            tid,
+            decision,
+            phase: RelPhase::Start,
+            inner,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "DynGLock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::run_counter_bench_with_nets;
+    use glocks::{GlockNetwork, Topology};
+    use glocks_sim_base::Mesh2D;
+
+    #[test]
+    fn dynamic_backend_is_correct_with_one_physical_lock() {
+        let mesh = Mesh2D::near_square(8);
+        let net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        let pool = GlockPool::new(vec![net.regs()]);
+        let p2 = Rc::clone(&pool);
+        let mut nets = [net];
+        let out = run_counter_bench_with_nets(
+            move |base, n| Box::new(DynamicGlockBackend::new(p2, 0, base, n)) as _,
+            8,
+            5,
+            &mut nets,
+        );
+        assert_eq!(out.counter_value, 40);
+        assert!(pool.is_quiescent());
+        // the single hot lock must have run on hardware
+        let s = pool.stats();
+        assert!(s.hw_acquires > 0, "no hardware acquires: {s:?}");
+        assert_eq!(s.spills, 0, "sole lock should never spill: {s:?}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Lock and barrier implementations for the simulated CMP.
+//!
+//! Software algorithms (Section II of the paper) are expressed as scripts
+//! of simulated memory operations, so their cache-coherence traffic and
+//! latency *emerge* from the protocol simulation rather than being modeled:
+//!
+//! * [`tatas`] — Simple Lock (`test&set`), the `test-and-test&set`
+//!   optimization, and exponential back-off;
+//! * [`ticket`] — Ticket Lock (`fetch&increment` + now-serving counter);
+//! * [`anderson`] — Array-based Lock (one spin slot per core);
+//! * [`mcs`] — MCS Lock, "the most efficient software algorithm for lock
+//!   synchronization" and the paper's main baseline;
+//! * [`ideal`] — the zero-latency, zero-traffic ideal lock of Figure 1;
+//! * [`glock_backend`] — the core-side driver of the hardware GLock
+//!   (Figure 5: a register write plus a busy-wait on `lock_req`);
+//! * [`barrier`] — a sense-versioned combining-tree barrier (the
+//!   applications' library barrier: at most two threads meet at any node).
+//!
+//! All backends implement [`glocks_cpu::LockBackend`] /
+//! [`glocks_cpu::BarrierBackend`] and are manufactured by
+//! [`LockAlgorithm::make_backend`].
+
+pub mod anderson;
+pub mod barrier;
+pub mod dynamic;
+pub mod gbarrier_backend;
+pub mod glock_backend;
+pub mod ideal;
+pub mod layout;
+pub mod mcs;
+pub mod mplock_backend;
+pub mod reactive;
+pub mod tatas;
+pub mod ticket;
+
+#[cfg(test)]
+pub(crate) mod testkit;
+
+use glocks::GlockRegisters;
+use glocks_cpu::LockBackend;
+use glocks_mem::mplock::MpFabric;
+use glocks_sim_base::Addr;
+use std::rc::Rc;
+
+/// The lock algorithms available to workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockAlgorithm {
+    /// `test&set` in a loop (Simple Lock).
+    Simple,
+    /// `test-and-test&set`: spin on local loads, `test&set` only when free.
+    Tatas,
+    /// TATAS with capped exponential back-off.
+    TatasBackoff,
+    /// Ticket lock.
+    Ticket,
+    /// Anderson's array-based queue lock.
+    Anderson,
+    /// Mellor-Crummey & Scott queue lock (the paper's baseline for
+    /// highly-contended locks).
+    Mcs,
+    /// The ideal lock of Figure 1: 1-cycle acquire/release, no traffic.
+    Ideal,
+    /// The hardware GLock (requires a G-line network's register file).
+    Glock,
+    /// MP-Locks (related work \[14\]): message-passing lock managers over
+    /// the main data network (requires the memory system's NIC fabric).
+    MpLock,
+    /// Synchronization-operation Buffer (related work \[16\]): the same
+    /// message protocol served by dedicated queueing *hardware* at the
+    /// home tile (2-cycle processing instead of a software manager).
+    SyncBuf,
+    /// Dynamically-shared GLocks (Section V future work): all locks share
+    /// the CMP's few physical G-line networks through a runtime binding
+    /// table, spilling to TATAS when none is free. Constructed by the
+    /// simulation runner (needs the shared [`glocks::GlockPool`]).
+    DynamicGlock,
+    /// Reactive Lock (related work \[13\]): adapts between Simple Lock and
+    /// MCS with the observed contention level.
+    Reactive,
+}
+
+impl LockAlgorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            LockAlgorithm::Simple => "Simple",
+            LockAlgorithm::Tatas => "TATAS",
+            LockAlgorithm::TatasBackoff => "TATAS-BO",
+            LockAlgorithm::Ticket => "Ticket",
+            LockAlgorithm::Anderson => "Anderson",
+            LockAlgorithm::Mcs => "MCS",
+            LockAlgorithm::Ideal => "Ideal",
+            LockAlgorithm::Glock => "GLock",
+            LockAlgorithm::MpLock => "MP-Lock",
+            LockAlgorithm::SyncBuf => "SB",
+            LockAlgorithm::DynamicGlock => "DynGLock",
+            LockAlgorithm::Reactive => "Reactive",
+        }
+    }
+
+    /// Manufacture a backend. `base` is the start of this lock's private
+    /// region of simulated memory (unused by `Ideal`/`Glock`/`MpLock`);
+    /// `glock_regs` is required for [`LockAlgorithm::Glock`], and
+    /// `mp` (the NIC fabric plus this lock's MP-lock id) for
+    /// [`LockAlgorithm::MpLock`].
+    pub fn make_backend(
+        self,
+        base: Addr,
+        n_threads: usize,
+        glock_regs: Option<Rc<GlockRegisters>>,
+        mp: Option<(Rc<MpFabric>, u16)>,
+    ) -> Box<dyn LockBackend> {
+        match self {
+            LockAlgorithm::Simple => Box::new(tatas::TatasLock::simple(base)),
+            LockAlgorithm::Tatas => Box::new(tatas::TatasLock::tatas(base)),
+            LockAlgorithm::TatasBackoff => Box::new(tatas::TatasLock::with_backoff(base)),
+            LockAlgorithm::Ticket => Box::new(ticket::TicketLock::new(base, n_threads)),
+            LockAlgorithm::Anderson => Box::new(anderson::AndersonLock::new(base, n_threads)),
+            LockAlgorithm::Mcs => Box::new(mcs::McsLock::new(base, n_threads)),
+            LockAlgorithm::Ideal => Box::new(ideal::IdealLock::new()),
+            LockAlgorithm::Glock => Box::new(glock_backend::GlockBackend::new(
+                glock_regs.expect("GLock backend needs a G-line network register file"),
+            )),
+            LockAlgorithm::MpLock | LockAlgorithm::SyncBuf => {
+                let (fabric, id) = mp.expect("MP-Lock backend needs the NIC fabric");
+                Box::new(mplock_backend::MpLockBackend::new(fabric, id))
+            }
+            LockAlgorithm::DynamicGlock => {
+                unreachable!("DynamicGlock backends are built by the simulation runner")
+            }
+            LockAlgorithm::Reactive => {
+                Box::new(reactive::ReactiveBackend::new(base, n_threads))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LockAlgorithm::Mcs.name(), "MCS");
+        assert_eq!(LockAlgorithm::Glock.name(), "GLock");
+        assert_eq!(LockAlgorithm::Tatas.name(), "TATAS");
+        assert_eq!(LockAlgorithm::MpLock.name(), "MP-Lock");
+        assert_eq!(LockAlgorithm::SyncBuf.name(), "SB");
+        assert_eq!(LockAlgorithm::DynamicGlock.name(), "DynGLock");
+        assert_eq!(LockAlgorithm::Reactive.name(), "Reactive");
+    }
+
+    #[test]
+    #[should_panic(expected = "register file")]
+    fn glock_requires_registers() {
+        let _ = LockAlgorithm::Glock.make_backend(Addr(0), 4, None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NIC fabric")]
+    fn mp_lock_requires_fabric() {
+        let _ = LockAlgorithm::MpLock.make_backend(Addr(0), 4, None, None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Reactive Lock (related work \[13\]: Lim & Agarwal, "Reactive
+//! Synchronization Algorithms for Multiprocessors") — "a library-based
+//! adaptive approach that … switches between Simple Lock and MCS Lock for
+//! the low and high contention cases, respectively."
+//!
+//! Mode decisions use the same safety idea as the dynamic GLock pool: the
+//! backend tracks how many acquires are outstanding, and the protocol may
+//! only change when the lock is *quiescent* (no acquirer, no holder), so
+//! every contender of a critical-section episode uses one protocol and
+//! mutual exclusion is preserved across switches. Contention is estimated
+//! with an exponentially weighted average of the concurrent-acquirer count
+//! sampled at each acquire.
+
+use crate::mcs::McsLock;
+use crate::tatas::TatasLock;
+use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::{Addr, ThreadId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Switch to MCS when the average concurrent-acquirer estimate exceeds
+/// this, and back to TATAS when it falls below the low-water mark.
+const HIGH_WATER: f64 = 3.0;
+const LOW_WATER: f64 = 1.5;
+/// EWMA smoothing factor.
+const ALPHA: f64 = 0.2;
+
+/// The protocol currently backing the lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Tatas,
+    Mcs,
+}
+
+/// Reactive lock: TATAS under low contention, MCS under high.
+pub struct ReactiveLock {
+    tatas: TatasLock,
+    mcs: McsLock,
+    mode: Cell<Mode>,
+    /// Acquires outstanding (acquire-start → release-end).
+    refs: Cell<u32>,
+    /// EWMA of the concurrent-acquirer count.
+    estimate: Cell<f64>,
+    /// Protocol switches performed (diagnostics).
+    switches: Cell<u64>,
+    /// Which mode each thread's current acquire used.
+    path: Vec<Rc<Cell<Option<Mode>>>>,
+}
+
+impl ReactiveLock {
+    /// `base` is this lock's private region; the TATAS flag and the MCS
+    /// queue live in disjoint parts of it.
+    pub fn new(base: Addr, n_threads: usize) -> Self {
+        ReactiveLock {
+            tatas: TatasLock::tatas(base),
+            // Skip a few lines so the two protocols never share a line.
+            mcs: McsLock::new(Addr(base.0 + 0x1000), n_threads),
+            mode: Cell::new(Mode::Tatas),
+            refs: Cell::new(0),
+            estimate: Cell::new(0.0),
+            switches: Cell::new(0),
+            path: (0..n_threads).map(|_| Rc::new(Cell::new(None))).collect(),
+        }
+    }
+
+    /// Sample contention and (when quiescent) adapt the protocol.
+    fn decide(&self) -> Mode {
+        let concurrent = self.refs.get() as f64 + 1.0;
+        let e = self.estimate.get() * (1.0 - ALPHA) + concurrent * ALPHA;
+        self.estimate.set(e);
+        if self.refs.get() == 0 {
+            // Quiescent: a switch is safe.
+            let current = self.mode.get();
+            let next = match current {
+                Mode::Tatas if e > HIGH_WATER => Mode::Mcs,
+                Mode::Mcs if e < LOW_WATER => Mode::Tatas,
+                m => m,
+            };
+            if next != current {
+                self.switches.set(self.switches.get() + 1);
+                self.mode.set(next);
+            }
+        }
+        self.mode.get()
+    }
+
+    pub fn current_mode(&self) -> Mode {
+        self.mode.get()
+    }
+
+    pub fn switches(&self) -> u64 {
+        self.switches.get()
+    }
+}
+
+/// Wraps the chosen protocol's script and charges a small decision cost.
+struct ReactiveScript {
+    inner: Box<dyn Script>,
+    decided: bool,
+}
+
+impl Script for ReactiveScript {
+    fn resume(&mut self, last: u64) -> Step {
+        if !self.decided {
+            self.decided = true;
+            // reading the mode word and branching
+            return Step::Compute(3);
+        }
+        self.inner.resume(last)
+    }
+}
+
+/// Release wrapper that drops the reference count once done.
+struct ReactiveRelease {
+    inner: Box<dyn Script>,
+    refs: Rc<Cell<u32>>,
+    done: bool,
+}
+
+impl Script for ReactiveRelease {
+    fn resume(&mut self, last: u64) -> Step {
+        let step = self.inner.resume(last);
+        if matches!(step, Step::Done) && !self.done {
+            self.done = true;
+            self.refs.set(self.refs.get() - 1);
+        }
+        step
+    }
+}
+
+/// The backend needs a sharable refcount for the release wrapper.
+pub struct ReactiveBackend {
+    lock: ReactiveLock,
+    refs: Rc<Cell<u32>>,
+}
+
+impl ReactiveBackend {
+    pub fn new(base: Addr, n_threads: usize) -> Self {
+        ReactiveBackend { lock: ReactiveLock::new(base, n_threads), refs: Rc::new(Cell::new(0)) }
+    }
+
+    pub fn inner(&self) -> &ReactiveLock {
+        &self.lock
+    }
+}
+
+impl LockBackend for ReactiveBackend {
+    fn acquire(&self, tid: ThreadId) -> Box<dyn Script> {
+        // `prior` = acquires already outstanding; a switch is only safe
+        // when this acquire is the lone contender (prior == 0).
+        let prior = self.refs.get();
+        self.refs.set(prior + 1);
+        self.lock.refs.set(prior);
+        let mode = self.lock.decide();
+        self.lock.path[tid.index()].set(Some(mode));
+        let inner = match mode {
+            Mode::Tatas => self.lock.tatas.acquire(tid),
+            Mode::Mcs => self.lock.mcs.acquire(tid),
+        };
+        Box::new(ReactiveScript { inner, decided: false })
+    }
+
+    fn release(&self, tid: ThreadId) -> Box<dyn Script> {
+        let mode = self.lock.path[tid.index()]
+            .take()
+            .expect("release without a recorded acquire mode");
+        let inner = match mode {
+            Mode::Tatas => self.lock.tatas.release(tid),
+            Mode::Mcs => self.lock.mcs.release(tid),
+        };
+        Box::new(ReactiveRelease { inner, refs: Rc::clone(&self.refs), done: false })
+    }
+
+    fn name(&self) -> &'static str {
+        "Reactive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::run_counter_bench;
+
+    #[test]
+    fn reactive_lock_is_correct() {
+        let out = run_counter_bench(
+            |base, n| Box::new(ReactiveBackend::new(base, n)) as _,
+            8,
+            5,
+        );
+        assert_eq!(out.counter_value, 40);
+    }
+
+    #[test]
+    fn reactive_lock_two_threads() {
+        let out = run_counter_bench(
+            |base, n| Box::new(ReactiveBackend::new(base, n)) as _,
+            2,
+            10,
+        );
+        assert_eq!(out.counter_value, 20);
+    }
+
+    #[test]
+    fn contended_run_switches_to_mcs() {
+        // Drive the backend directly: 8 simultaneous acquirers push the
+        // EWMA over the high-water mark; once quiescent, the next acquire
+        // must run in MCS mode.
+        let b = ReactiveBackend::new(glocks_sim_base::Addr(0x10_000), 8);
+        assert_eq!(b.inner().current_mode(), Mode::Tatas);
+        for round in 0..4 {
+            let _scripts: Vec<_> = (0..8).map(|t| b.acquire(ThreadId(t))).collect();
+            for t in 0..8 {
+                let mut r = b.release(ThreadId(t));
+                // drain the release scripts' bookkeeping without a sim:
+                // TATAS/MCS release scripts issue memory steps; we only
+                // need the refcount drop, which happens at Done. Resume
+                // until Done with fake completions.
+                for _ in 0..64 {
+                    if matches!(r.resume(0), Step::Done) {
+                        break;
+                    }
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(b.inner().current_mode(), Mode::Mcs, "high contention must switch");
+        assert!(b.inner().switches() >= 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared test harness for lock implementations: a non-atomic
+//! counter-increment critical section over the full simulator stack.
+//!
+//! The critical section is deliberately a load / compute / store sequence
+//! (not an atomic RMW), so any mutual-exclusion failure shows up as a lost
+//! update in the final counter value — in addition to the tracker's panic.
+
+use glocks::GlockNetwork;
+use glocks_cpu::{Action, Backends, BarrierBackend, Core, FixedScript, LockBackend, LockTracker, Script, Workload};
+use glocks_mem::{MemOp, MemorySystem};
+use glocks_noc::TrafficClass;
+use glocks_sim_base::{Addr, CmpConfig, CoreId, LockId, ThreadId};
+
+/// Outcome of a counter bench run.
+pub struct BenchOutcome {
+    pub counter_value: u64,
+    pub cycles: u64,
+    pub coherence_bytes: u64,
+    pub total_bytes: u64,
+    pub grant_order: Vec<ThreadId>,
+    pub lock_cycles_total: u64,
+}
+
+struct NullBarrier;
+
+impl BarrierBackend for NullBarrier {
+    fn wait(&self, _tid: ThreadId) -> Box<dyn Script> {
+        Box::new(FixedScript::new(0))
+    }
+}
+
+enum Phase {
+    Acquire,
+    LoadCounter,
+    Think,
+    StoreCounter,
+    Release,
+    Rest,
+}
+
+/// `iters` × { acquire; counter++ (non-atomically); release; rest }.
+struct CounterLoop {
+    counter: Addr,
+    iters_left: u64,
+    phase: Phase,
+    seen: u64,
+}
+
+impl Workload for CounterLoop {
+    fn next(&mut self, last: u64) -> Action {
+        match self.phase {
+            Phase::Acquire => {
+                if self.iters_left == 0 {
+                    return Action::Done;
+                }
+                self.phase = Phase::LoadCounter;
+                Action::Acquire(LockId(0))
+            }
+            Phase::LoadCounter => {
+                self.phase = Phase::Think;
+                Action::Mem(MemOp::Load(self.counter))
+            }
+            Phase::Think => {
+                self.seen = last;
+                self.phase = Phase::StoreCounter;
+                Action::Compute(4)
+            }
+            Phase::StoreCounter => {
+                self.phase = Phase::Release;
+                Action::Mem(MemOp::Store(self.counter, self.seen + 1))
+            }
+            Phase::Release => {
+                self.iters_left -= 1;
+                self.phase = Phase::Rest;
+                Action::Release(LockId(0))
+            }
+            Phase::Rest => {
+                self.phase = Phase::Acquire;
+                Action::Compute(8)
+            }
+        }
+    }
+}
+
+/// Run the counter bench over the backend produced by `make` (which may
+/// inspect the memory system, e.g. for the MP-Locks NIC), optionally
+/// ticking hardware lock networks each cycle.
+pub fn run_counter_bench_full(
+    make: impl FnOnce(&MemorySystem, Addr, usize) -> Box<dyn LockBackend>,
+    threads: usize,
+    iters: u64,
+    nets: &mut [GlockNetwork],
+) -> BenchOutcome {
+    let cfg = CmpConfig::paper_baseline().with_cores(threads);
+    let mut mem = MemorySystem::new(&cfg);
+    // The lock region and the counter live apart.
+    let lock_base = Addr(0x10_000);
+    let counter = Addr(0x80_000);
+    let backend = make(&mem, lock_base, threads);
+    let locks: Vec<Box<dyn LockBackend>> = vec![backend];
+    let barrier = NullBarrier;
+    let backends = Backends { locks: &locks, barrier: &barrier };
+    let mut tracker = LockTracker::new(1, threads);
+    let mut cores: Vec<Core> = (0..threads)
+        .map(|i| {
+            Core::new(
+                CoreId(i as u16),
+                cfg.issue_width,
+                Box::new(CounterLoop {
+                    counter,
+                    iters_left: iters,
+                    phase: Phase::Acquire,
+                    seen: 0,
+                }),
+            )
+        })
+        .collect();
+    let mut now = 0u64;
+    loop {
+        let mut all_done = true;
+        for core in &mut cores {
+            core.tick(now, &mut mem, &backends, &mut tracker);
+            all_done &= core.is_finished();
+        }
+        mem.tick(now);
+        for net in nets.iter_mut() {
+            net.tick(now);
+            net.assert_token_invariants();
+        }
+        tracker.sample();
+        if all_done {
+            break;
+        }
+        now += 1;
+        assert!(now < 200_000_000, "lock bench hung at cycle {now}");
+    }
+    assert!(tracker.all_quiet(), "locks still held at the end");
+    let lock_cycles_total = cores.iter().map(|c| c.breakdown().lock).sum();
+    BenchOutcome {
+        counter_value: mem.store().load(counter),
+        cycles: now,
+        coherence_bytes: mem.traffic().bytes(TrafficClass::Coherence)
+            + mem.traffic().bytes(TrafficClass::Reply),
+        total_bytes: mem.traffic().total_bytes(),
+        grant_order: tracker.grant_log(LockId(0)).to_vec(),
+        lock_cycles_total,
+    }
+}
+
+/// Variant with hardware GLock networks.
+pub fn run_counter_bench_with_nets(
+    make: impl FnOnce(Addr, usize) -> Box<dyn LockBackend>,
+    threads: usize,
+    iters: u64,
+    nets: &mut [GlockNetwork],
+) -> BenchOutcome {
+    run_counter_bench_full(|_mem, base, n| make(base, n), threads, iters, nets)
+}
+
+/// Variant whose factory inspects the memory system (MP-Locks NIC).
+pub fn run_counter_bench_with_mem(
+    make: impl FnOnce(&MemorySystem, Addr, usize) -> Box<dyn LockBackend>,
+    threads: usize,
+    iters: u64,
+) -> BenchOutcome {
+    run_counter_bench_full(make, threads, iters, &mut [])
+}
+
+/// Software-lock variant (no hardware networks).
+pub fn run_counter_bench(
+    make: impl FnOnce(Addr, usize) -> Box<dyn LockBackend>,
+    threads: usize,
+    iters: u64,
+) -> BenchOutcome {
+    run_counter_bench_full(|_mem, base, n| make(base, n), threads, iters, &mut [])
+}

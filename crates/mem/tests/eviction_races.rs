@@ -1,0 +1,191 @@
+//! Scenario tests that force the protocol's hairiest interactions:
+//! dirty/clean evictions racing forwarded probes, deferred misses on
+//! lines with in-flight writebacks, and upgrade/invalidation crossings.
+//! The simulator is deterministic, so these scenarios replay identically.
+
+use glocks_mem::{MemOp, MemorySystem, RmwKind};
+use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle};
+
+/// Lines 0, 128, 256, ... all map to L1 set 0 (128 sets × 64 B = 8 KiB).
+const SET_STRIDE: u64 = 128 * 64;
+
+fn system(cores: usize) -> MemorySystem {
+    MemorySystem::new(&CmpConfig::paper_baseline().with_cores(cores))
+}
+
+fn run_op(sys: &mut MemorySystem, core: CoreId, op: MemOp, start: Cycle) -> (u64, Cycle) {
+    sys.submit(core, op, start);
+    let mut now = start;
+    loop {
+        sys.tick(now);
+        if let Some(r) = sys.take_result(core) {
+            return (r.value, now);
+        }
+        now += 1;
+        assert!(now < start + 1_000_000, "op hung");
+    }
+}
+
+fn settle(sys: &mut MemorySystem, from: Cycle) -> Cycle {
+    let mut now = from;
+    while !sys.is_quiescent() {
+        now += 1;
+        sys.tick(now);
+        assert!(now < from + 100_000, "failed to settle");
+    }
+    now
+}
+
+/// Force a dirty eviction (PutM) while a remote core concurrently demands
+/// the same line (FwdGetM): the WB-buffer handshake must resolve the race
+/// and preserve the value.
+#[test]
+fn dirty_eviction_races_remote_getm() {
+    let mut sys = system(8);
+    // Core 0 dirties 4 lines of set 0 (fills all ways).
+    let mut now = 0;
+    for w in 0..4u64 {
+        let (_, t) = run_op(&mut sys, CoreId(0), MemOp::Store(Addr(w * SET_STRIDE), w + 1), now);
+        now = t + 1;
+    }
+    // 5th dirty store to the same set evicts the LRU victim (line 0, value 1)
+    // via PutM, while core 1 simultaneously RMWs line 0.
+    sys.submit(CoreId(0), MemOp::Store(Addr(4 * SET_STRIDE), 5), now);
+    sys.submit(CoreId(1), MemOp::Rmw(Addr(0), RmwKind::FetchAdd(10)), now);
+    let mut done = 0;
+    let mut old_seen = 0;
+    while done < 2 {
+        sys.tick(now);
+        if sys.take_result(CoreId(0)).is_some() {
+            done += 1;
+        }
+        if let Some(r) = sys.take_result(CoreId(1)) {
+            old_seen = r.value;
+            done += 1;
+        }
+        now += 1;
+        assert!(now < 1_000_000);
+    }
+    let now = settle(&mut sys, now);
+    assert_eq!(old_seen, 1, "core 1 must observe the evicted dirty value");
+    assert_eq!(sys.store().load(Addr(0)), 11);
+    sys.check_invariants();
+    let _ = now;
+}
+
+/// Clean-exclusive eviction (PutE) racing a remote read (FwdGetS).
+#[test]
+fn clean_eviction_races_remote_gets() {
+    let mut sys = system(8);
+    let mut now = 0;
+    // Core 0 reads 4 distinct set-0 lines: each granted Exclusive.
+    for w in 0..4u64 {
+        let (_, t) = run_op(&mut sys, CoreId(0), MemOp::Load(Addr(w * SET_STRIDE)), now);
+        now = t + 1;
+    }
+    // Pre-set line 0's value through another core, then re-read by core 0?
+    // Simpler: evict line 0 (clean E) by a 5th load while core 2 loads it.
+    sys.submit(CoreId(0), MemOp::Load(Addr(4 * SET_STRIDE)), now);
+    sys.submit(CoreId(2), MemOp::Load(Addr(0)), now);
+    let mut done = 0;
+    while done < 2 {
+        sys.tick(now);
+        if sys.take_result(CoreId(0)).is_some() {
+            done += 1;
+        }
+        if sys.take_result(CoreId(2)).is_some() {
+            done += 1;
+        }
+        now += 1;
+        assert!(now < 1_000_000);
+    }
+    settle(&mut sys, now);
+    sys.check_invariants();
+}
+
+/// A miss on a line whose writeback is still in flight must stall until
+/// the PutAck and then complete correctly (the WB-buffer deferral path).
+#[test]
+fn reload_of_inflight_writeback() {
+    let mut sys = system(4);
+    let mut now = 0;
+    for w in 0..4u64 {
+        let (_, t) = run_op(&mut sys, CoreId(0), MemOp::Store(Addr(w * SET_STRIDE), w + 1), now);
+        now = t + 1;
+    }
+    // Evict line 0, then immediately reload it: the L1 must defer the
+    // GetS until its own PutM is acknowledged.
+    sys.submit(CoreId(0), MemOp::Store(Addr(4 * SET_STRIDE), 5), now);
+    let mut done = false;
+    while !done {
+        sys.tick(now);
+        done = sys.take_result(CoreId(0)).is_some();
+        now += 1;
+    }
+    // Reload straight away — likely while PutM is still in flight.
+    let (v, t) = run_op(&mut sys, CoreId(0), MemOp::Load(Addr(0)), now);
+    assert_eq!(v, 1);
+    settle(&mut sys, t);
+    sys.check_invariants();
+}
+
+/// Two sharers race upgrades on the same line: exactly one wins the first
+/// grant; both eventually write; no update is lost.
+#[test]
+fn crossing_upgrades() {
+    let mut sys = system(4);
+    let a = Addr(0x7040);
+    // Both cores obtain S copies.
+    let (_, t1) = run_op(&mut sys, CoreId(0), MemOp::Load(a), 0);
+    let (_, t2) = run_op(&mut sys, CoreId(1), MemOp::Load(a), t1 + 1);
+    // Simultaneous RMWs: both are upgrades from S.
+    let mut now = t2 + 1;
+    sys.submit(CoreId(0), MemOp::Rmw(a, RmwKind::FetchAdd(1)), now);
+    sys.submit(CoreId(1), MemOp::Rmw(a, RmwKind::FetchAdd(1)), now);
+    let mut olds = Vec::new();
+    while olds.len() < 2 {
+        sys.tick(now);
+        for c in [CoreId(0), CoreId(1)] {
+            if let Some(r) = sys.take_result(c) {
+                olds.push(r.value);
+            }
+        }
+        now += 1;
+        assert!(now < 1_000_000);
+    }
+    olds.sort_unstable();
+    assert_eq!(olds, vec![0, 1], "upgrades must serialize");
+    assert_eq!(sys.store().load(a), 2);
+    settle(&mut sys, now);
+    sys.check_invariants();
+}
+
+/// Hammering one set from many cores with dirty lines: every eviction
+/// handshake, forward, and refill must preserve all values.
+#[test]
+fn set_conflict_storm() {
+    let mut sys = system(8);
+    let mut now = 0;
+    // 8 cores × 6 lines, all in L1 set 0, written round-robin twice.
+    for round in 0..2u64 {
+        for w in 0..6u64 {
+            for c in 0..8u16 {
+                let addr = Addr(w * SET_STRIDE + c as u64 * 8);
+                let (_, t) =
+                    run_op(&mut sys, CoreId(c), MemOp::Store(addr, round * 100 + w * 8 + c as u64), now);
+                now = t + 1;
+            }
+        }
+    }
+    settle(&mut sys, now);
+    sys.check_invariants();
+    for w in 0..6u64 {
+        for c in 0..8u64 {
+            assert_eq!(
+                sys.store().load(Addr(w * SET_STRIDE + c * 8)),
+                100 + w * 8 + c,
+                "line {w} word {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the MESI memory system.
+//!
+//! Random multi-core operation streams are executed on the simulator and on
+//! a trivially-correct sequential oracle. Because the simulated cores are
+//! blocking and the test drives them in a fixed serialization (each op
+//! completes before the next conflicting one is observed), per-word final
+//! values must match an atomic interleaving, and the system invariants must
+//! hold at every quiescent point.
+
+use glocks_mem::{MemOp, MemorySystem, RmwKind};
+use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct OpSpec {
+    core: u16,
+    word: u8,
+    kind: u8,
+    operand: u8,
+}
+
+fn op_strategy(cores: u16, words: u8) -> impl Strategy<Value = OpSpec> {
+    (0..cores, 0..words, 0u8..6, any::<u8>()).prop_map(|(core, word, kind, operand)| OpSpec {
+        core,
+        word,
+        kind,
+        operand,
+    })
+}
+
+fn to_mem_op(s: &OpSpec) -> MemOp {
+    // Words spread over several cache lines and home tiles.
+    let addr = Addr(0x4_0000 + s.word as u64 * 8);
+    match s.kind {
+        0 => MemOp::Load(addr),
+        1 => MemOp::Store(addr, s.operand as u64),
+        2 => MemOp::Rmw(addr, RmwKind::TestAndSet),
+        3 => MemOp::Rmw(addr, RmwKind::Swap(s.operand as u64)),
+        4 => MemOp::Rmw(addr, RmwKind::FetchAdd(s.operand as u64)),
+        _ => MemOp::Rmw(
+            addr,
+            RmwKind::CompareAndSwap { expected: s.operand as u64 % 4, new: s.operand as u64 },
+        ),
+    }
+}
+
+/// Sequential oracle: apply the op to a plain array.
+fn oracle_apply(mem: &mut [u64], op: &MemOp) -> u64 {
+    let idx = ((op.addr().0 - 0x4_0000) / 8) as usize;
+    match *op {
+        MemOp::Load(_) => mem[idx],
+        MemOp::Store(_, v) => {
+            mem[idx] = v;
+            0
+        }
+        MemOp::Rmw(_, kind) => {
+            let (new, old) = kind.apply(mem[idx]);
+            mem[idx] = new;
+            old
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One core at a time (fully serialized): the simulator must agree with
+    /// the sequential oracle on every returned value.
+    #[test]
+    fn serialized_ops_match_oracle(ops in proptest::collection::vec(op_strategy(8, 16), 1..60)) {
+        let cfg = CmpConfig::paper_baseline().with_cores(8);
+        let mut sys = MemorySystem::new(&cfg);
+        let mut oracle = vec![0u64; 16];
+        let mut now: Cycle = 0;
+        for spec in &ops {
+            let op = to_mem_op(spec);
+            let core = CoreId(spec.core);
+            sys.submit(core, op, now);
+            let result = loop {
+                sys.tick(now);
+                now += 1;
+                if let Some(r) = sys.take_result(core) {
+                    break r;
+                }
+                prop_assert!(now < 10_000_000, "operation hung");
+            };
+            let expect = oracle_apply(&mut oracle, &op);
+            if !matches!(op, MemOp::Store(..)) {
+                prop_assert_eq!(result.value, expect, "op {:?}", op);
+            }
+        }
+        // Let writebacks settle, then check invariants and final memory.
+        for _ in 0..20_000 {
+            sys.tick(now);
+            now += 1;
+        }
+        prop_assert!(sys.is_quiescent());
+        sys.check_invariants();
+        for (i, &v) in oracle.iter().enumerate() {
+            prop_assert_eq!(sys.store().load(Addr(0x4_0000 + i as u64 * 8)), v);
+        }
+    }
+
+    /// All cores fire concurrently at random offsets: every op completes,
+    /// invariants hold at quiescence, and commutative updates (fetch&add)
+    /// sum correctly.
+    #[test]
+    fn concurrent_fetch_adds_sum(
+        plan in proptest::collection::vec((0u16..16, 0u8..4, 1u64..5), 1..80)
+    ) {
+        let cfg = CmpConfig::paper_baseline().with_cores(16);
+        let mut sys = MemorySystem::new(&cfg);
+        // Each core executes its own queue of fetch&adds.
+        let mut queues: Vec<Vec<(u8, u64)>> = vec![Vec::new(); 16];
+        let mut expected = [0u64; 4];
+        for &(core, word, delta) in &plan {
+            queues[core as usize].push((word, delta));
+            expected[word as usize] += delta;
+        }
+        let mut cursors = [0usize; 16];
+        let mut inflight = [false; 16];
+        let mut now: Cycle = 0;
+        loop {
+            let mut all_done = true;
+            for c in 0..16u16 {
+                let q = &queues[c as usize];
+                if inflight[c as usize] {
+                    all_done = false;
+                    if let Some(_r) = sys.take_result(CoreId(c)) {
+                        inflight[c as usize] = false;
+                        cursors[c as usize] += 1;
+                    }
+                } else if cursors[c as usize] < q.len() {
+                    all_done = false;
+                    let (word, delta) = q[cursors[c as usize]];
+                    let addr = Addr(0x8_0000 + word as u64 * 8);
+                    sys.submit(CoreId(c), MemOp::Rmw(addr, RmwKind::FetchAdd(delta)), now);
+                    inflight[c as usize] = true;
+                }
+            }
+            if all_done {
+                break;
+            }
+            sys.tick(now);
+            now += 1;
+            prop_assert!(now < 50_000_000, "workload hung at cycle {}", now);
+        }
+        for _ in 0..20_000 {
+            sys.tick(now);
+            now += 1;
+        }
+        prop_assert!(sys.is_quiescent());
+        sys.check_invariants();
+        for (w, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                sys.store().load(Addr(0x8_0000 + w as u64 * 8)),
+                want,
+                "word {} lost updates", w
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Architectural configuration of the simulated CMP.
+//!
+//! [`CmpConfig::paper_baseline`] reproduces Table II of the paper: a 32-core
+//! tiled CMP at 3 GHz with in-order 2-way cores, 32 KB 4-way L1s (2 cycles),
+//! a distributed shared L2 of 256 KB 4-way per tile (12+4 cycles), 400-cycle
+//! memory, and an aggressive 2D mesh with 75-byte links.
+
+use crate::geom::Mesh2D;
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (per slice, for the distributed L2).
+    pub size_bytes: u64,
+    /// Set associativity.
+    pub ways: u32,
+    /// Access latency in cycles (tag+data for the L1; for the L2 the paper
+    /// quotes 12+4, i.e. `latency` covers the tag lookup and
+    /// `extra_data_latency` the data array).
+    pub latency: u64,
+    /// Additional data-array latency (the "+4" of the paper's "12+4").
+    pub extra_data_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets for a given line size.
+    pub fn sets(&self, line_bytes: u64) -> usize {
+        let lines = self.size_bytes / line_bytes;
+        let sets = lines / self.ways as u64;
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
+        sets as usize
+    }
+
+    /// Total access latency (tag + data).
+    pub fn total_latency(&self) -> u64 {
+        self.latency + self.extra_data_latency
+    }
+}
+
+/// Interconnection-network parameters (Table II: 2D mesh, 75 GB/s,
+/// 75-byte links).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Link width in bytes; a packet of `n` bytes needs
+    /// `ceil(n / link_bytes)` cycles of link serialization.
+    pub link_bytes: u32,
+    /// Router pipeline depth in cycles (route computation + arbitration +
+    /// traversal).
+    pub router_latency: u64,
+    /// Per-hop link traversal latency in cycles.
+    pub link_latency: u64,
+    /// Size in bytes of an address-only control message (requests,
+    /// invalidations, acks).
+    pub ctrl_msg_bytes: u32,
+    /// Size in bytes of a data-bearing message (header + one cache line).
+    pub data_msg_bytes: u32,
+}
+
+/// Parameters of the dedicated GLock hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlockConfig {
+    /// Number of GLocks provided in hardware. The paper provisions two
+    /// ("we assume that two GLocks are provided at hardware level").
+    pub num_hw_locks: usize,
+    /// G-line signal propagation latency in cycles (1 in the paper;
+    /// the "longer-latency G-lines" scaling path raises it).
+    pub gline_latency: u64,
+    /// Maximum number of transmitters a single G-line supports (6 in the
+    /// paper, capping a flat network at 7×7 cores).
+    pub max_transmitters_per_line: u32,
+}
+
+/// Full configuration of the simulated CMP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CmpConfig {
+    /// Number of cores (== tiles; one core per tile).
+    pub num_cores: usize,
+    /// Core clock in Hz (only used to convert cycles to seconds for
+    /// reporting; all simulation is in cycles).
+    pub clock_hz: u64,
+    /// Superscalar width of the in-order core (2 in Table II): `Compute(n)`
+    /// of `n` instructions retires `ceil(n / issue_width)` cycles.
+    pub issue_width: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    pub noc: NocConfig,
+    pub glocks: GlockConfig,
+}
+
+impl CmpConfig {
+    /// Table II of the paper: the 32-core baseline.
+    pub fn paper_baseline() -> Self {
+        CmpConfig {
+            num_cores: 32,
+            clock_hz: 3_000_000_000,
+            issue_width: 2,
+            line_bytes: 64,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                latency: 2,
+                extra_data_latency: 0,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 4,
+                latency: 12,
+                extra_data_latency: 4,
+            },
+            mem_latency: 400,
+            noc: NocConfig {
+                link_bytes: 75,
+                router_latency: 3,
+                link_latency: 1,
+                ctrl_msg_bytes: 8,
+                data_msg_bytes: 8 + 64,
+            },
+            glocks: GlockConfig {
+                num_hw_locks: 2,
+                gline_latency: 1,
+                max_transmitters_per_line: 6,
+            },
+        }
+    }
+
+    /// The baseline scaled to `n` cores (used by Table IV's 4/8/16/32-core
+    /// speedup study). Everything but the core count is unchanged.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.num_cores = n;
+        self
+    }
+
+    /// The mesh floor plan for this configuration.
+    pub fn mesh(&self) -> Mesh2D {
+        Mesh2D::near_square(self.num_cores)
+    }
+
+    /// Sanity-check internal consistency; panics with a description on
+    /// misconfiguration. Called by the simulator constructor.
+    pub fn validate(&self) {
+        assert!(self.num_cores > 0);
+        assert!(self.line_bytes.is_power_of_two());
+        assert!(self.issue_width >= 1);
+        let _ = self.l1.sets(self.line_bytes);
+        let _ = self.l2.sets(self.line_bytes);
+        assert!(self.noc.link_bytes > 0);
+        assert!(self.noc.data_msg_bytes as u64 >= self.line_bytes);
+        assert!(self.glocks.gline_latency >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table_ii() {
+        let c = CmpConfig::paper_baseline();
+        c.validate();
+        assert_eq!(c.num_cores, 32);
+        assert_eq!(c.clock_hz, 3_000_000_000);
+        assert_eq!(c.line_bytes, 64);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l1.total_latency(), 2);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l2.total_latency(), 12 + 4);
+        assert_eq!(c.mem_latency, 400);
+        assert_eq!(c.noc.link_bytes, 75);
+        assert_eq!(c.mesh(), Mesh2D::new(8, 4));
+    }
+
+    #[test]
+    fn cache_set_counts() {
+        let c = CmpConfig::paper_baseline();
+        // 32KB / 64B / 4 ways = 128 sets
+        assert_eq!(c.l1.sets(64), 128);
+        // 256KB / 64B / 4 ways = 1024 sets
+        assert_eq!(c.l2.sets(64), 1024);
+    }
+
+    #[test]
+    fn with_cores_scales_only_core_count() {
+        let c = CmpConfig::paper_baseline().with_cores(16);
+        c.validate();
+        assert_eq!(c.num_cores, 16);
+        assert_eq!(c.l1, CmpConfig::paper_baseline().l1);
+        assert_eq!(c.mesh(), Mesh2D::new(4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_cache_geometry_is_rejected() {
+        let mut c = CmpConfig::paper_baseline();
+        c.l1.size_bytes = 3 * 1024; // 48 lines / 4 ways = 12 sets: not 2^k
+        c.validate();
+    }
+}

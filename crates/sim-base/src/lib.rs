@@ -1,0 +1,21 @@
+//! Foundation types shared by every crate in the GLocks reproduction.
+//!
+//! This crate is deliberately dependency-free and contains the vocabulary of
+//! the simulated machine: identifiers ([`ids`]), the 2D-mesh floor plan
+//! ([`geom`]), the architectural configuration of the simulated CMP
+//! ([`config`], reproducing Table II of the paper), simple statistics
+//! containers ([`stats`]), a deterministic RNG ([`rng`]) and plain-text
+//! table rendering used by the experiment harness ([`table`]).
+
+pub mod config;
+pub mod geom;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use config::{CacheConfig, CmpConfig, GlockConfig, NocConfig};
+pub use geom::{Coord, Mesh2D};
+pub use ids::{Addr, CoreId, Cycle, LineAddr, LockId, ThreadId, TileId};
+pub use rng::SplitMix64;

@@ -1,0 +1,203 @@
+//! Statistics containers used throughout the simulator.
+
+use std::collections::BTreeMap;
+
+/// A monotone event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A dense histogram over small integer bins (e.g. the paper's grAC axis,
+/// 1..=32 concurrent requesters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with bins `0..n_bins`.
+    pub fn new(n_bins: usize) -> Self {
+        Histogram {
+            bins: vec![0; n_bins],
+        }
+    }
+
+    /// Record `weight` occurrences of `bin`. Out-of-range bins clamp to the
+    /// last bin (keeps the grAC histogram total exact under config drift).
+    pub fn record(&mut self, bin: usize, weight: u64) {
+        let i = bin.min(self.bins.len() - 1);
+        self.bins[i] += weight;
+    }
+
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The bins normalized to fractions of the total (all zeros if empty).
+    pub fn normalized(&self) -> Vec<f64> {
+        let t = self.total();
+        if t == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&b| b as f64 / t as f64).collect()
+    }
+
+    /// Merge another histogram of the same shape into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len());
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+}
+
+/// Running mean/min/max of an f64 series (used for latency summaries).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A keyed bundle of counters with stable (sorted) iteration order, used for
+/// ad-hoc per-component stats dumps.
+#[derive(Clone, Debug, Default)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_records_and_normalizes() {
+        let mut h = Histogram::new(4);
+        h.record(0, 1);
+        h.record(1, 3);
+        h.record(9, 4); // clamps to bin 3
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bin(3), 4);
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[1] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_normalizes_to_zeros() {
+        let h = Histogram::new(3);
+        assert_eq!(h.normalized(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(3);
+        let mut b = Histogram::new(3);
+        a.record(0, 2);
+        b.record(2, 5);
+        a.merge(&b);
+        assert_eq!(a.bin(0), 2);
+        assert_eq!(a.bin(2), 5);
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let mut s = Summary::default();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn counter_set_merges_sorted() {
+        let mut a = CounterSet::default();
+        a.add("z", 1);
+        a.add("a", 2);
+        let mut b = CounterSet::default();
+        b.add("z", 3);
+        a.merge(&b);
+        let keys: Vec<_> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+        assert_eq!(a.get("z"), 4);
+        assert_eq!(a.get("missing"), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The harness regenerates every table and figure of the paper as aligned
+//! text tables (and optional CSV) so runs can be diffed and pasted into
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with an optional title.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    pub fn header<I, S>(mut self, cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            self.header.is_empty() || row.len() == self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], w: &[usize]| {
+            let mut line = String::new();
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:>width$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let h = fmt_row(&self.header, &w);
+            let _ = writeln!(out, "{h}");
+            let _ = writeln!(out, "{}", "-".repeat(h.chars().count()));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &w));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-lite: quotes any cell containing a comma).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            let _ = writeln!(
+                out,
+                "{}",
+                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, e.g. `0.423` → `42.3%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// A unicode bar of width proportional to `x` (clamped to `[0, max]`),
+/// `width` characters at full scale — for figure-style textual bar charts.
+pub fn bar(x: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let frac = (x / max).clamp(0.0, 1.0);
+    let cells = frac * width as f64;
+    let full = cells.floor() as usize;
+    let rem = cells - full as f64;
+    // eighth-block partial cell for finer resolution
+    const PARTS: [char; 8] = [' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉'];
+    let mut s = "█".repeat(full);
+    if full < width {
+        let idx = (rem * 8.0).floor() as usize;
+        if idx > 0 {
+            s.push(PARTS[idx.min(7)]);
+        }
+    }
+    s
+}
+
+/// A stacked bar over category fractions (must sum to ≤ 1), one glyph per
+/// category, `width` characters at full scale — the shape of the paper's
+/// stacked Figure 8 bars in text.
+pub fn stacked_bar(fracs: &[f64], glyphs: &[char], width: usize) -> String {
+    assert_eq!(fracs.len(), glyphs.len());
+    let mut s = String::new();
+    let mut used = 0usize;
+    for (i, &f) in fracs.iter().enumerate() {
+        let n = (f * width as f64).round() as usize;
+        let n = n.min(width - used);
+        for _ in 0..n {
+            s.push(glyphs[i]);
+        }
+        used += n;
+    }
+    s
+}
+
+/// Format a normalized value with two decimals, e.g. `0.58`.
+pub fn norm(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("demo").header(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        // both data rows align the value column to the same offset
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new("x").header(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new("").header(["k", "v"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(norm(0.576), "0.58");
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(bar(1.0, 1.0, 4), "████");
+        assert_eq!(bar(0.5, 1.0, 4), "██");
+        assert_eq!(bar(2.0, 1.0, 4), "████", "clamped at max");
+        assert_eq!(bar(0.0, 1.0, 4), "");
+        assert_eq!(bar(1.0, 0.0, 4), "", "degenerate max");
+        // partial cells use eighth blocks
+        let b = bar(0.56, 1.0, 4);
+        assert!(b.chars().count() == 3 && b.starts_with("██"), "{b:?}");
+    }
+
+    #[test]
+    fn stacked_bars_partition_width() {
+        let s = stacked_bar(&[0.5, 0.25, 0.25], &['B', 'M', 'L'], 8);
+        assert_eq!(s, "BBBBMMLL");
+        let s = stacked_bar(&[1.0, 0.5], &['a', 'b'], 4);
+        assert_eq!(s, "aaaa", "overflow is clipped");
+    }
+}

@@ -1,0 +1,219 @@
+//! Opt-in, zero-cost-when-off event tracing for the whole simulator.
+//!
+//! Real architecture simulators live and die by their debug traces. This
+//! module provides a thread-local tracer (the simulation is
+//! single-threaded) that components write cycle-stamped records into via
+//! the [`crate::trace_event!`] macro. When tracing is disabled — the default —
+//! the macro's only cost is one thread-local flag read, and no formatting
+//! happens.
+//!
+//! ```
+//! use glocks_sim_base::trace::{self, TraceMask};
+//! use glocks_sim_base::trace_event;
+//!
+//! trace::enable(TraceMask::GLOCK | TraceMask::COHERENCE, 1000);
+//! trace_event!(TraceMask::GLOCK, 42, "TOKEN granted to core {}", 3);
+//! let records = trace::drain();
+//! assert_eq!(records.len(), 1);
+//! trace::disable();
+//! ```
+
+use crate::ids::Cycle;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Bitmask of trace categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceMask(pub u32);
+
+impl TraceMask {
+    /// Directory / MESI protocol transactions.
+    pub const COHERENCE: TraceMask = TraceMask(1 << 0);
+    /// L1 cache controller activity.
+    pub const L1: TraceMask = TraceMask(1 << 1);
+    /// G-line signals and token movement.
+    pub const GLOCK: TraceMask = TraceMask(1 << 2);
+    /// Lock acquire/release at the workload level.
+    pub const LOCK: TraceMask = TraceMask(1 << 3);
+    /// Core scheduling (thread program actions).
+    pub const CORE: TraceMask = TraceMask(1 << 4);
+    /// NoC packet movement.
+    pub const NOC: TraceMask = TraceMask(1 << 5);
+    /// Everything.
+    pub const ALL: TraceMask = TraceMask(u32::MAX);
+
+    #[inline]
+    pub fn contains(self, other: TraceMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMask::COHERENCE => "coh",
+            TraceMask::L1 => "l1",
+            TraceMask::GLOCK => "glock",
+            TraceMask::LOCK => "lock",
+            TraceMask::CORE => "core",
+            TraceMask::NOC => "noc",
+            _ => "multi",
+        }
+    }
+}
+
+impl std::ops::BitOr for TraceMask {
+    type Output = TraceMask;
+    fn bitor(self, rhs: TraceMask) -> TraceMask {
+        TraceMask(self.0 | rhs.0)
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub cycle: Cycle,
+    pub category: TraceMask,
+    pub text: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:>5}  {}", self.cycle, self.category.name(), self.text)
+    }
+}
+
+struct TracerState {
+    mask: TraceMask,
+    cap: usize,
+    ring: std::collections::VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+thread_local! {
+    static TRACER: RefCell<TracerState> = const {
+        RefCell::new(TracerState {
+            mask: TraceMask(0),
+            cap: 0,
+            ring: std::collections::VecDeque::new(),
+            dropped: 0,
+        })
+    };
+}
+
+/// Enable tracing for the given categories, keeping at most `cap` records
+/// (oldest are dropped first).
+pub fn enable(mask: TraceMask, cap: usize) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        t.mask = mask;
+        t.cap = cap.max(1);
+        t.ring.clear();
+        t.dropped = 0;
+    });
+}
+
+/// Turn tracing off and discard any buffered records.
+pub fn disable() {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        t.mask = TraceMask(0);
+        t.ring.clear();
+    });
+}
+
+/// Is any of `cat`'s bits enabled? (The macro's cheap guard.)
+#[inline]
+pub fn is_enabled(cat: TraceMask) -> bool {
+    TRACER.with(|t| t.borrow().mask.contains(cat))
+}
+
+/// Append a record (called by the macro after the guard).
+pub fn emit(cat: TraceMask, cycle: Cycle, text: String) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.mask.contains(cat) {
+            return;
+        }
+        if t.ring.len() == t.cap {
+            t.ring.pop_front();
+            t.dropped += 1;
+        }
+        t.ring.push_back(TraceRecord { cycle, category: cat, text });
+    });
+}
+
+/// Take all buffered records (oldest first).
+pub fn drain() -> Vec<TraceRecord> {
+    TRACER.with(|t| t.borrow_mut().ring.drain(..).collect())
+}
+
+/// Records dropped because the ring was full.
+pub fn dropped() -> u64 {
+    TRACER.with(|t| t.borrow().dropped)
+}
+
+/// Emit a trace record if its category is enabled; formatting only happens
+/// when it is.
+#[macro_export]
+macro_rules! trace_event {
+    ($cat:expr, $cycle:expr, $($arg:tt)*) => {
+        if $crate::trace::is_enabled($cat) {
+            $crate::trace::emit($cat, $cycle, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_cheap() {
+        disable();
+        assert!(!is_enabled(TraceMask::COHERENCE));
+        trace_event!(TraceMask::COHERENCE, 1, "must not appear");
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn captures_enabled_categories_only() {
+        enable(TraceMask::GLOCK | TraceMask::LOCK, 100);
+        trace_event!(TraceMask::GLOCK, 5, "token to {}", 2);
+        trace_event!(TraceMask::COHERENCE, 6, "filtered out");
+        trace_event!(TraceMask::LOCK, 7, "acquired");
+        let recs = drain();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].cycle, 5);
+        assert_eq!(recs[0].text, "token to 2");
+        assert_eq!(recs[1].category, TraceMask::LOCK);
+        disable();
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        enable(TraceMask::ALL, 3);
+        for i in 0..5u64 {
+            trace_event!(TraceMask::CORE, i, "e{i}");
+        }
+        assert_eq!(dropped(), 2);
+        let recs = drain();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].text, "e2");
+        assert_eq!(recs[2].text, "e4");
+        disable();
+    }
+
+    #[test]
+    fn display_format() {
+        let r = TraceRecord { cycle: 12, category: TraceMask::GLOCK, text: "x".into() };
+        assert_eq!(format!("{r}"), "[      12] glock  x");
+    }
+
+    #[test]
+    fn mask_algebra() {
+        let m = TraceMask::L1 | TraceMask::NOC;
+        assert!(m.contains(TraceMask::L1));
+        assert!(m.contains(TraceMask::NOC));
+        assert!(!m.contains(TraceMask::GLOCK));
+        assert!(TraceMask::ALL.contains(TraceMask::LOCK));
+    }
+}

@@ -1,0 +1,113 @@
+//! Which lock algorithm backs each workload lock.
+
+use glocks_locks::LockAlgorithm;
+use glocks_sim_base::LockId;
+
+/// Per-workload-lock algorithm assignment.
+///
+/// The paper's configurations:
+/// * `MCS` bars: highly-contended locks → MCS, the rest → TATAS;
+/// * `GL` bars: highly-contended locks → GLocks, the rest → TATAS;
+/// * Figure 1's `TATAS-X`: `X` of the highly-contended locks → Ideal.
+/// ```
+/// use glocks_sim::LockMapping;
+/// use glocks_locks::LockAlgorithm;
+/// use glocks_sim_base::LockId;
+///
+/// // RAYTR's configuration: 34 locks, the two hot ones in hardware.
+/// let m = LockMapping::hybrid(&[LockId(0), LockId(1)], LockAlgorithm::Glock, 34);
+/// assert_eq!(m.algo(LockId(0)), LockAlgorithm::Glock);
+/// assert_eq!(m.algo(LockId(5)), LockAlgorithm::Tatas);
+/// assert_eq!(m.glock_ids().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LockMapping {
+    algos: Vec<LockAlgorithm>,
+}
+
+impl LockMapping {
+    /// Every lock uses `algo`.
+    pub fn uniform(algo: LockAlgorithm, n_locks: usize) -> Self {
+        LockMapping { algos: vec![algo; n_locks] }
+    }
+
+    /// The paper's hybrid scheme: the listed highly-contended locks use
+    /// `hc_algo`, everything else `test-and-test&set`.
+    pub fn hybrid(hc_locks: &[LockId], hc_algo: LockAlgorithm, n_locks: usize) -> Self {
+        let mut algos = vec![LockAlgorithm::Tatas; n_locks];
+        for l in hc_locks {
+            algos[l.index()] = hc_algo;
+        }
+        LockMapping { algos }
+    }
+
+    /// Figure 1's `TATAS-X` configuration: the first `x` highly-contended
+    /// locks become ideal locks, everything else TATAS.
+    pub fn tatas_x(hc_locks: &[LockId], x: usize, n_locks: usize) -> Self {
+        let mut algos = vec![LockAlgorithm::Tatas; n_locks];
+        for l in hc_locks.iter().take(x) {
+            algos[l.index()] = LockAlgorithm::Ideal;
+        }
+        LockMapping { algos }
+    }
+
+    pub fn n_locks(&self) -> usize {
+        self.algos.len()
+    }
+
+    pub fn algo(&self, lock: LockId) -> LockAlgorithm {
+        self.algos[lock.index()]
+    }
+
+    /// Lock ids mapped to hardware GLocks.
+    pub fn glock_ids(&self) -> Vec<LockId> {
+        self.algos
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == LockAlgorithm::Glock)
+            .map(|(i, _)| LockId(i as u16))
+            .collect()
+    }
+
+    /// Short label for reports ("GL", "MCS", ...): the algorithm used for
+    /// the first non-TATAS lock, or "TATAS" if uniform.
+    pub fn label(&self) -> &'static str {
+        self.algos
+            .iter()
+            .find(|a| **a != LockAlgorithm::Tatas)
+            .map(|a| a.name())
+            .unwrap_or("TATAS")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_maps_hc_locks_only() {
+        let m = LockMapping::hybrid(&[LockId(1), LockId(3)], LockAlgorithm::Glock, 5);
+        assert_eq!(m.algo(LockId(0)), LockAlgorithm::Tatas);
+        assert_eq!(m.algo(LockId(1)), LockAlgorithm::Glock);
+        assert_eq!(m.algo(LockId(3)), LockAlgorithm::Glock);
+        assert_eq!(m.glock_ids(), vec![LockId(1), LockId(3)]);
+        assert_eq!(m.label(), "GLock");
+    }
+
+    #[test]
+    fn tatas_x_takes_a_prefix() {
+        let hc = [LockId(0), LockId(2)];
+        let m0 = LockMapping::tatas_x(&hc, 0, 4);
+        assert_eq!(m0.label(), "TATAS");
+        let m1 = LockMapping::tatas_x(&hc, 1, 4);
+        assert_eq!(m1.algo(LockId(0)), LockAlgorithm::Ideal);
+        assert_eq!(m1.algo(LockId(2)), LockAlgorithm::Tatas);
+        let m2 = LockMapping::tatas_x(&hc, 2, 4);
+        assert_eq!(m2.algo(LockId(2)), LockAlgorithm::Ideal);
+    }
+
+    #[test]
+    fn uniform_label() {
+        assert_eq!(LockMapping::uniform(LockAlgorithm::Mcs, 3).label(), "MCS");
+    }
+}

@@ -1,0 +1,462 @@
+//! The cycle loop tying all subsystems together.
+
+use crate::mapping::LockMapping;
+use crate::report::{SimReport, TrafficSnapshot};
+use glocks::{GBarrierNetwork, GlockNetwork, GlockPool, Topology};
+use glocks_cpu::{Backends, BarrierBackend, Core, LockBackend, LockTracker, Script, Workload};
+use glocks_sim_base::ThreadId;
+use glocks_energy::{EnergyInputs, EnergyModel};
+use glocks_locks::barrier::TreeBarrier;
+use glocks_locks::LockAlgorithm;
+use glocks_mem::MemorySystem;
+use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle, LockId};
+
+/// A barrier backend that gives each consecutive core group its own
+/// private combining tree — the multiprogramming substrate of Section V's
+/// future work (independent workloads must not synchronize with each
+/// other).
+pub struct PartitionedBarrier {
+    /// `(first_tid, group_barrier)` per partition, in tid order.
+    groups: Vec<(usize, TreeBarrier)>,
+}
+
+impl PartitionedBarrier {
+    /// `sizes` are consecutive group sizes summing to the core count.
+    pub fn new(base: Addr, sizes: &[usize], n_cores: usize) -> Self {
+        assert_eq!(sizes.iter().sum::<usize>(), n_cores, "partitions must cover all cores");
+        let mut groups = Vec::new();
+        let mut first = 0usize;
+        for (i, &sz) in sizes.iter().enumerate() {
+            assert!(sz > 0, "empty barrier partition");
+            let gbase = Addr(base.0 + i as u64 * 0x4000);
+            groups.push((first, TreeBarrier::new(gbase, sz)));
+            first += sz;
+        }
+        PartitionedBarrier { groups }
+    }
+}
+
+impl BarrierBackend for PartitionedBarrier {
+    fn wait(&self, tid: ThreadId) -> Box<dyn Script> {
+        let t = tid.index();
+        let (first, barrier) = self
+            .groups
+            .iter()
+            .rev()
+            .find(|(f, _)| *f <= t)
+            .expect("tid below every partition");
+        barrier.wait(ThreadId((t - first) as u16))
+    }
+}
+
+/// Simulated-memory layout owned by the runner.
+const LOCK_REGION_BASE: u64 = 0x0010_0000;
+const LOCK_REGION_STRIDE: u64 = 0x8000;
+const BARRIER_REGION: u64 = 0x00F0_0000;
+
+/// Knobs beyond the architectural configuration.
+#[derive(Clone, Debug)]
+pub struct SimulationOptions {
+    /// Run the MESI invariant checker every `n` cycles (0 = never).
+    /// Expensive; intended for tests.
+    pub check_invariants_every: u64,
+    /// Abort if the run exceeds this many cycles.
+    pub max_cycles: u64,
+    /// Energy model to account with.
+    pub energy_model: EnergyModel,
+    /// Use a hierarchical GLock topology even when a flat one would fit.
+    pub force_hierarchical_glocks: bool,
+    /// Barrier partitions for multiprogrammed runs: consecutive core
+    /// groups, each with its own private barrier (must sum to the core
+    /// count). `None` = one global barrier.
+    pub barrier_partitions: Option<Vec<usize>>,
+    /// Use the G-line hardware barrier network (reference \[22\]) instead
+    /// of the software combining tree. Incompatible with
+    /// `barrier_partitions`.
+    pub hardware_barrier: bool,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            check_invariants_every: 0,
+            max_cycles: 2_000_000_000,
+            energy_model: EnergyModel::paper_baseline(),
+            force_hierarchical_glocks: false,
+            barrier_partitions: None,
+            hardware_barrier: false,
+        }
+    }
+}
+
+/// One configured run of the simulated CMP.
+pub struct Simulation {
+    cfg: CmpConfig,
+    options: SimulationOptions,
+    mem: MemorySystem,
+    cores: Vec<Core>,
+    locks: Vec<Box<dyn LockBackend>>,
+    barrier: Box<dyn BarrierBackend>,
+    tracker: LockTracker,
+    glock_nets: Vec<GlockNetwork>,
+    gbarrier: Option<GBarrierNetwork>,
+    pool: Option<std::rc::Rc<GlockPool>>,
+    now: Cycle,
+}
+
+impl Simulation {
+    /// Build a run: one workload per core, a lock mapping over the
+    /// workload's locks, and an initial memory image (address, value)
+    /// written before the first cycle.
+    pub fn new(
+        cfg: &CmpConfig,
+        mapping: &LockMapping,
+        workloads: Vec<Box<dyn Workload>>,
+        init: &[(Addr, u64)],
+        options: SimulationOptions,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            workloads.len(),
+            cfg.num_cores,
+            "one workload thread per core"
+        );
+        let n_locks = mapping.n_locks();
+        let mut mem = MemorySystem::new(cfg);
+        for &(a, v) in init {
+            mem.store_mut().store(a, v);
+            // The initialization phase is untimed but leaves its data in
+            // the (home) L2 slices, like the real applications' init code.
+            mem.prewarm(a.line(cfg.line_bytes));
+        }
+        // Hardware GLock networks: one per lock mapped to GLock, or the
+        // full hardware complement when dynamic sharing is requested.
+        let glock_ids = mapping.glock_ids();
+        let dynamic = (0..n_locks)
+            .any(|i| mapping.algo(LockId(i as u16)) == LockAlgorithm::DynamicGlock);
+        assert!(
+            !dynamic || glock_ids.is_empty(),
+            "static GLock and dynamic GLock mappings cannot be mixed"
+        );
+        assert!(
+            glock_ids.len() <= cfg.glocks.num_hw_locks,
+            "{} locks mapped to GLocks but only {} provided in hardware",
+            glock_ids.len(),
+            cfg.glocks.num_hw_locks
+        );
+        let mesh = cfg.mesh();
+        let topo = if options.force_hierarchical_glocks || mesh.len() > 49 {
+            Topology::hierarchical(mesh, 1 + cfg.glocks.max_transmitters_per_line as usize)
+        } else {
+            Topology::flat(mesh)
+        };
+        let n_nets = if dynamic { cfg.glocks.num_hw_locks } else { glock_ids.len() };
+        let glock_nets: Vec<GlockNetwork> = (0..n_nets)
+            .map(|_| GlockNetwork::new(&topo, cfg.glocks.gline_latency))
+            .collect();
+        let pool = dynamic
+            .then(|| GlockPool::new(glock_nets.iter().map(|n| n.regs()).collect()));
+        // Lock backends in LockId order.
+        let mut next_glock = 0usize;
+        let locks: Vec<Box<dyn LockBackend>> = (0..n_locks)
+            .map(|i| {
+                let algo = mapping.algo(LockId(i as u16));
+                let base = Addr(LOCK_REGION_BASE + i as u64 * LOCK_REGION_STRIDE);
+                let regs = if algo == LockAlgorithm::Glock {
+                    let r = glock_nets[next_glock].regs();
+                    next_glock += 1;
+                    Some(r)
+                } else {
+                    None
+                };
+                if algo == LockAlgorithm::DynamicGlock {
+                    return Box::new(glocks_locks::dynamic::DynamicGlockBackend::new(
+                        std::rc::Rc::clone(pool.as_ref().expect("dynamic pool")),
+                        i as u16,
+                        base,
+                        cfg.num_cores,
+                    )) as Box<dyn LockBackend>;
+                }
+                let mp = matches!(algo, LockAlgorithm::MpLock | LockAlgorithm::SyncBuf)
+                    .then(|| (mem.mp_fabric(), i as u16));
+                if algo == LockAlgorithm::SyncBuf {
+                    mem.set_mp_latency(i as u16, glocks_mem::mplock::SYNC_BUF_LATENCY);
+                }
+                algo.make_backend(base, cfg.num_cores, regs, mp)
+            })
+            .collect();
+        let mut gbarrier = None;
+        let barrier: Box<dyn BarrierBackend> = match (&options.barrier_partitions, options.hardware_barrier) {
+            (Some(_), true) => panic!("hardware barrier cannot be partitioned"),
+            (Some(sizes), false) => Box::new(PartitionedBarrier::new(
+                Addr(BARRIER_REGION),
+                sizes,
+                cfg.num_cores,
+            )),
+            (None, true) => {
+                let net = GBarrierNetwork::new(&topo, cfg.glocks.gline_latency);
+                let backend = glocks_locks::gbarrier_backend::GBarrierBackend::new(net.regs());
+                gbarrier = Some(net);
+                Box::new(backend)
+            }
+            (None, false) => Box::new(TreeBarrier::new(Addr(BARRIER_REGION), cfg.num_cores)),
+        };
+        let tracker = LockTracker::new(n_locks, cfg.num_cores);
+        let cores: Vec<Core> = workloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| Core::new(CoreId(i as u16), cfg.issue_width, w))
+            .collect();
+        Simulation {
+            cfg: *cfg,
+            options,
+            mem,
+            cores,
+            locks,
+            barrier,
+            tracker,
+            glock_nets,
+            gbarrier,
+            pool,
+            now: 0,
+        }
+    }
+
+    /// Run the parallel phase to completion and produce the report.
+    pub fn run(mut self) -> (SimReport, MemorySystem) {
+        let finish_at = loop {
+            let mut all_done = true;
+            {
+                let backends = Backends { locks: &self.locks, barrier: self.barrier.as_ref() };
+                for core in &mut self.cores {
+                    core.tick(self.now, &mut self.mem, &backends, &mut self.tracker);
+                    all_done &= core.is_finished();
+                }
+            }
+            self.mem.tick(self.now);
+            for net in &mut self.glock_nets {
+                net.tick(self.now);
+            }
+            if let Some(b) = self.gbarrier.as_mut() {
+                b.tick(self.now);
+            }
+            self.tracker.sample();
+            if self.options.check_invariants_every > 0
+                && self.now.is_multiple_of(self.options.check_invariants_every)
+            {
+                self.mem.check_invariants();
+                for net in &self.glock_nets {
+                    net.assert_token_invariants();
+                }
+            }
+            if all_done {
+                break self.now;
+            }
+            self.now += 1;
+            assert!(
+                self.now < self.options.max_cycles,
+                "simulation exceeded {} cycles",
+                self.options.max_cycles
+            );
+        };
+        // Drain in-flight writebacks so the traffic/energy totals settle.
+        let mut drain = 0;
+        while !self.mem.is_quiescent() && drain < 1_000_000 {
+            self.now += 1;
+            drain += 1;
+            self.mem.tick(self.now);
+            for net in &mut self.glock_nets {
+                net.tick(self.now);
+            }
+            if let Some(b) = self.gbarrier.as_mut() {
+                b.tick(self.now);
+            }
+        }
+        assert!(self.mem.is_quiescent(), "memory system failed to drain");
+        assert!(self.tracker.all_quiet(), "locks still held after the run");
+        if let Some(p) = &self.pool {
+            assert!(p.is_quiescent(), "dynamic GLock bindings leaked");
+        }
+
+        let n_locks = self.tracker.n_locks();
+        let breakdowns: Vec<_> = self.cores.iter().map(|c| *c.breakdown()).collect();
+        let traffic = TrafficSnapshot::from_stats(self.mem.traffic());
+        let instructions = breakdowns.iter().map(|b| b.instructions).sum();
+        let live_core_cycles = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at().unwrap_or(finish_at))
+            .sum();
+        let glocks: Vec<_> = self.glock_nets.iter().map(|n| n.stats()).collect();
+        // The hardware barrier rides the same G-line technology: its
+        // signals and controllers join the energy accounting.
+        let gbarrier_signals = self.gbarrier.as_ref().map(|b| b.signals()).unwrap_or(0);
+        let gline_networks = self.glock_nets.len() + usize::from(self.gbarrier.is_some());
+        let glock_controllers =
+            gline_networks.saturating_mul(2 * self.cfg.num_cores) as u64; // leaves + managers bound
+        let inputs = EnergyInputs {
+            cycles: finish_at,
+            n_tiles: self.cfg.num_cores,
+            instructions,
+            live_core_cycles,
+            mem_counters: self.mem.counters(),
+            noc_hops: traffic.total_hops,
+            noc_byte_hops: traffic.total_bytes(),
+            gline_signals: glocks.iter().map(|g| g.signals).sum::<u64>() + gbarrier_signals,
+            glock_controllers,
+        };
+        let energy = self.options.energy_model.account(&inputs);
+        let finished_at_vec = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at().unwrap_or(finish_at))
+            .collect();
+        let report = SimReport {
+            cycles: finish_at,
+            breakdowns,
+            traffic,
+            energy,
+            ed2p: energy.ed2p(finish_at),
+            lcr: self.tracker.lcr(),
+            acquires: (0..n_locks)
+                .map(|i| self.tracker.acquires(LockId(i as u16)))
+                .collect(),
+            mean_wait: (0..n_locks)
+                .map(|i| self.tracker.mean_wait(LockId(i as u16)))
+                .collect(),
+            glocks,
+            finished_at: finished_at_vec,
+            pool: self.pool.as_ref().map(|p| p.stats()),
+        };
+        (report, self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glocks_cpu::Action;
+    use glocks_mem::MemOp;
+
+    /// Minimal SCTR-style workload for runner tests.
+    struct MiniCounter {
+        iters: u64,
+        counter: Addr,
+        phase: u8,
+        seen: u64,
+    }
+
+    impl Workload for MiniCounter {
+        fn next(&mut self, last: u64) -> Action {
+            match self.phase {
+                0 => {
+                    if self.iters == 0 {
+                        return Action::Done;
+                    }
+                    self.phase = 1;
+                    Action::Acquire(LockId(0))
+                }
+                1 => {
+                    self.phase = 2;
+                    Action::Mem(MemOp::Load(self.counter))
+                }
+                2 => {
+                    self.seen = last;
+                    self.phase = 3;
+                    Action::Mem(MemOp::Store(self.counter, self.seen + 1))
+                }
+                3 => {
+                    self.iters -= 1;
+                    self.phase = 4;
+                    Action::Release(LockId(0))
+                }
+                _ => {
+                    self.phase = 0;
+                    Action::Barrier
+                }
+            }
+        }
+    }
+
+    fn mini_workloads(cfg: &CmpConfig, iters: u64) -> Vec<Box<dyn Workload>> {
+        (0..cfg.num_cores)
+            .map(|_| {
+                Box::new(MiniCounter { iters, counter: Addr(0x200_0000), phase: 0, seen: 0 })
+                    as Box<dyn Workload>
+            })
+            .collect()
+    }
+
+    fn run_with(algo: LockAlgorithm, cores: usize, iters: u64) -> (SimReport, MemorySystem) {
+        let cfg = CmpConfig::paper_baseline().with_cores(cores);
+        let mapping = LockMapping::uniform(algo, 1);
+        let opts = SimulationOptions { check_invariants_every: 5000, ..Default::default() };
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, iters), &[], opts);
+        sim.run()
+    }
+
+    #[test]
+    fn full_stack_mcs_run_is_correct() {
+        let (report, mem) = run_with(LockAlgorithm::Mcs, 8, 4);
+        assert_eq!(mem.store().load(Addr(0x200_0000)), 32);
+        assert_eq!(report.acquires[0], 32);
+        assert!(report.cycles > 0);
+        let f = report.avg_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f[2] > 0.2, "contended MCS should show lock time, got {f:?}");
+    }
+
+    #[test]
+    fn full_stack_glock_run_is_correct_and_faster() {
+        let (gl, mem) = run_with(LockAlgorithm::Glock, 8, 4);
+        assert_eq!(mem.store().load(Addr(0x200_0000)), 32);
+        let (mcs, _) = run_with(LockAlgorithm::Mcs, 8, 4);
+        assert!(
+            gl.cycles < mcs.cycles,
+            "GLock {} !< MCS {}",
+            gl.cycles,
+            mcs.cycles
+        );
+        assert!(gl.traffic.total_bytes() < mcs.traffic.total_bytes());
+        assert!(gl.ed2p < mcs.ed2p, "ED²P must improve too");
+        assert_eq!(gl.glocks.len(), 1);
+        assert_eq!(gl.glocks[0].grants, 32);
+    }
+
+    #[test]
+    fn lcr_sums_to_one_when_contended() {
+        let (report, _) = run_with(LockAlgorithm::Mcs, 8, 4);
+        let total: f64 = report.lcr.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-9, "Eq. 2 violated: {total}");
+    }
+
+    #[test]
+    fn init_image_is_applied() {
+        let cfg = CmpConfig::paper_baseline().with_cores(4);
+        let mapping = LockMapping::uniform(LockAlgorithm::Tatas, 1);
+        let init = [(Addr(0x200_0000), 100u64)];
+        let sim = Simulation::new(
+            &cfg,
+            &mapping,
+            mini_workloads(&cfg, 1),
+            &init,
+            SimulationOptions::default(),
+        );
+        let (_, mem) = sim.run();
+        assert_eq!(mem.store().load(Addr(0x200_0000)), 104);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 provided")]
+    fn too_many_glocks_rejected() {
+        let cfg = CmpConfig::paper_baseline().with_cores(4);
+        let mapping = LockMapping::uniform(LockAlgorithm::Glock, 3);
+        let _ = Simulation::new(
+            &cfg,
+            &mapping,
+            mini_workloads(&cfg, 1),
+            &[],
+            SimulationOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 7's post-mortem lock-contention analysis (Eqs. 1–3).
+//!
+//! The simulator's `LockTracker` records, cycle by cycle, the number of
+//! concurrent requesters (grAC) of every lock. This module turns those
+//! histograms into the paper's Lock Contention Rate decomposition and the
+//! highly-contended-lock classification used to choose which locks get a
+//! GLock.
+
+use glocks_sim_base::LockId;
+
+/// Summarize a per-lock LCR decomposition (`lcr[lock][grac]`, Eq. 3) into
+/// coarse grAC buckets for textual reporting — the shape of Figure 7's
+/// z-axis at a glance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LcrSummary {
+    pub lock: LockId,
+    /// Fraction of all lock-wait cycles attributed to this lock.
+    pub weight: f64,
+    /// LCR mass in grAC buckets `1..=4`, `5..=12`, `13..=20`, `>20`.
+    pub buckets: [f64; 4],
+}
+
+/// Bucket edges for the textual Figure 7.
+pub const BUCKETS: [(usize, usize); 4] = [(1, 4), (5, 12), (13, 20), (21, usize::MAX)];
+
+/// Summarize every lock of a benchmark.
+pub fn summarize(lcr: &[Vec<f64>]) -> Vec<LcrSummary> {
+    lcr.iter()
+        .enumerate()
+        .map(|(i, per_grac)| {
+            let mut buckets = [0.0f64; 4];
+            for (g, &v) in per_grac.iter().enumerate() {
+                if g == 0 {
+                    continue;
+                }
+                for (b, &(lo, hi)) in BUCKETS.iter().enumerate() {
+                    if g >= lo && g <= hi {
+                        buckets[b] += v;
+                        break;
+                    }
+                }
+            }
+            LcrSummary {
+                lock: LockId(i as u16),
+                weight: per_grac.iter().sum(),
+                buckets,
+            }
+        })
+        .collect()
+}
+
+/// The paper's criterion (footnote 3): "highly-contended locks are those
+/// locks accessed by all threads simultaneously or very close in time" —
+/// and locks that, despite contending, run for a negligible number of
+/// cycles are excluded. Classify a lock as highly contended when it
+/// carries at least `weight_floor` of the benchmark's total contention
+/// cycles and at least `tail_share` of its own mass sits above
+/// `grac_threshold` concurrent requesters.
+pub fn classify_hc(
+    lcr: &[Vec<f64>],
+    grac_threshold: usize,
+    tail_share: f64,
+    weight_floor: f64,
+) -> Vec<LockId> {
+    summarize(lcr)
+        .into_iter()
+        .filter(|s| {
+            if s.weight < weight_floor {
+                return false;
+            }
+            let per_grac = &lcr[s.lock.index()];
+            let tail: f64 = per_grac
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| *g > grac_threshold)
+                .map(|(_, v)| v)
+                .sum();
+            tail / s.weight >= tail_share
+        })
+        .map(|s| s.lock)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcr_fixture() -> Vec<Vec<f64>> {
+        // lock 0: heavy, high-grAC; lock 1: light; lock 2: heavy, low-grAC
+        let mut l0 = vec![0.0; 33];
+        l0[30] = 0.5;
+        l0[25] = 0.2;
+        let mut l1 = vec![0.0; 33];
+        l1[32] = 0.01;
+        let mut l2 = vec![0.0; 33];
+        l2[2] = 0.29;
+        vec![l0, l1, l2]
+    }
+
+    #[test]
+    fn summary_buckets_partition_mass() {
+        let s = summarize(&lcr_fixture());
+        assert_eq!(s.len(), 3);
+        assert!((s[0].weight - 0.7).abs() < 1e-12);
+        assert!((s[0].buckets[3] - 0.7).abs() < 1e-12, "all mass above 20");
+        assert!((s[2].buckets[0] - 0.29).abs() < 1e-12, "low-grAC mass");
+        let total: f64 = s.iter().map(|x| x.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hc_classification_follows_the_paper() {
+        let hc = classify_hc(&lcr_fixture(), 20, 0.5, 0.05);
+        // lock 0: heavy and high-grAC → HC.
+        // lock 1: high-grAC but negligible cycles → excluded (footnote 3's
+        //   "executed during a negligible amount of clock cycles").
+        // lock 2: heavy but low contention → excluded.
+        assert_eq!(hc, vec![LockId(0)]);
+    }
+
+    #[test]
+    fn empty_lcr_classifies_nothing() {
+        let lcr = vec![vec![0.0; 33]];
+        assert!(classify_hc(&lcr, 20, 0.5, 0.05).is_empty());
+    }
+}

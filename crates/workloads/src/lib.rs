@@ -1,0 +1,260 @@
+//! The paper's benchmarks as simulated thread programs.
+//!
+//! **Microbenchmarks** (Section IV-B, re-implemented faithfully):
+//! * `SCTR` — one counter, one lock, incremented by all threads in a loop;
+//! * `MCTR` — an array of counters (distinct cache lines) under one lock,
+//!   each thread bumping its own counter;
+//! * `DBLL` — a doubly-linked list under one lock; threads dequeue from the
+//!   head and enqueue at the tail;
+//! * `PRCO` — a bounded FIFO under one lock; half the threads produce,
+//!   half consume;
+//! * `ACTR` — two locks protecting two counters, with a barrier between
+//!   the two acquisitions of every iteration.
+//!
+//! **Applications** (Section IV-B; see DESIGN.md §4 for the substitution
+//! rationale):
+//! * `RAYTR` — a Raytrace-style task-parallel renderer kernel: 34 locks of
+//!   which 2 are highly contended with SCTR-like access patterns
+//!   (Table III);
+//! * `OCEAN` — an Ocean-style iterative grid solver: per-sweep grid work,
+//!   barriers, and one highly-contended reduction lock (3 locks total);
+//! * `QSORT` — parallel quicksort of 16384 integers over a shared work
+//!   stack protected by one lock (PRCO-like contention).
+//!
+//! Each benchmark provides per-thread [`Workload`] state machines, an
+//! initial memory image, and a **verifier** over the final memory so every
+//! experiment doubles as a correctness check of the lock implementations.
+
+pub mod actr;
+pub mod contention;
+pub mod counters;
+pub mod dbll;
+pub mod multiprog;
+pub mod ocean;
+pub mod prco;
+pub mod qsort;
+pub mod raytr;
+
+use glocks_cpu::Workload;
+use glocks_mem::store::WordStore;
+use glocks_sim_base::{Addr, LockId};
+
+/// A post-run correctness check over the final simulated memory.
+pub type Verifier = Box<dyn Fn(&WordStore) -> Result<(), String>>;
+
+/// The eight benchmarks of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchKind {
+    Sctr,
+    Mctr,
+    Dbll,
+    Prco,
+    Actr,
+    Raytr,
+    Ocean,
+    Qsort,
+}
+
+impl BenchKind {
+    pub const MICROS: [BenchKind; 5] = [
+        BenchKind::Sctr,
+        BenchKind::Mctr,
+        BenchKind::Dbll,
+        BenchKind::Prco,
+        BenchKind::Actr,
+    ];
+
+    pub const APPS: [BenchKind; 3] = [BenchKind::Raytr, BenchKind::Ocean, BenchKind::Qsort];
+
+    pub const ALL: [BenchKind; 8] = [
+        BenchKind::Sctr,
+        BenchKind::Mctr,
+        BenchKind::Dbll,
+        BenchKind::Prco,
+        BenchKind::Actr,
+        BenchKind::Raytr,
+        BenchKind::Ocean,
+        BenchKind::Qsort,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchKind::Sctr => "SCTR",
+            BenchKind::Mctr => "MCTR",
+            BenchKind::Dbll => "DBLL",
+            BenchKind::Prco => "PRCO",
+            BenchKind::Actr => "ACTR",
+            BenchKind::Raytr => "RAYTR",
+            BenchKind::Ocean => "OCEAN",
+            BenchKind::Qsort => "QSORT",
+        }
+    }
+
+    pub fn is_app(self) -> bool {
+        matches!(self, BenchKind::Raytr | BenchKind::Ocean | BenchKind::Qsort)
+    }
+
+    /// Table III's "Input Size" column for the default scale.
+    pub fn input_size_label(self) -> &'static str {
+        match self {
+            BenchKind::Sctr | BenchKind::Mctr | BenchKind::Dbll | BenchKind::Prco
+            | BenchKind::Actr => "1,000 iterations",
+            BenchKind::Raytr => "teapot (512 rays)",
+            BenchKind::Ocean => "258x258 ocean",
+            BenchKind::Qsort => "16384 elements",
+        }
+    }
+
+    /// Table III's "Access Pattern" column: which microbenchmark the
+    /// application's highly-contended locks resemble.
+    pub fn access_pattern(self) -> &'static str {
+        match self {
+            BenchKind::Raytr | BenchKind::Ocean => "SCTR",
+            BenchKind::Qsort => "PRCO",
+            _ => "-",
+        }
+    }
+}
+
+/// A fully-specified benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    pub kind: BenchKind,
+    pub threads: usize,
+    /// Size knob; `default_scale` reproduces Table III's input sizes.
+    pub scale: u64,
+    pub seed: u64,
+}
+
+/// Base of the benchmark's private data region in simulated memory
+/// (lock/barrier regions live below).
+pub const DATA_BASE: Addr = Addr(0x0200_0000);
+
+impl BenchConfig {
+    /// The paper's configuration for `kind` on `threads` cores.
+    pub fn paper(kind: BenchKind, threads: usize) -> Self {
+        BenchConfig { kind, threads, scale: Self::default_scale(kind), seed: 0xB10C_5EED }
+    }
+
+    /// Table III input sizes.
+    pub fn default_scale(kind: BenchKind) -> u64 {
+        match kind {
+            BenchKind::Sctr | BenchKind::Mctr | BenchKind::Dbll | BenchKind::Prco
+            | BenchKind::Actr => 1000,
+            BenchKind::Raytr => 512,   // rays ("teapot" scene)
+            BenchKind::Ocean => 258,   // grid edge
+            BenchKind::Qsort => 16384, // elements
+        }
+    }
+
+    /// A reduced-size configuration for fast tests.
+    pub fn smoke(kind: BenchKind, threads: usize) -> Self {
+        let scale = match kind {
+            BenchKind::Ocean => 66,
+            BenchKind::Qsort => 2048,
+            BenchKind::Raytr => 96,
+            _ => 160,
+        };
+        BenchConfig { kind, threads, scale, seed: 0xB10C_5EED }
+    }
+
+    /// Table III "Locks" column.
+    pub fn n_locks(&self) -> usize {
+        match self.kind {
+            BenchKind::Actr => 2,
+            BenchKind::Raytr => 34,
+            BenchKind::Ocean => 3,
+            _ => 1,
+        }
+    }
+
+    /// Table III "H-C Locks" column: the highly-contended lock ids.
+    pub fn hc_locks(&self) -> Vec<LockId> {
+        match self.kind {
+            BenchKind::Actr | BenchKind::Raytr => vec![LockId(0), LockId(1)],
+            _ => vec![LockId(0)],
+        }
+    }
+
+    /// Instantiate: per-thread workloads, initial memory image, verifier.
+    pub fn build(&self) -> BenchInstance {
+        match self.kind {
+            BenchKind::Sctr => counters::sctr(self),
+            BenchKind::Mctr => counters::mctr(self),
+            BenchKind::Dbll => dbll::build(self),
+            BenchKind::Prco => prco::build(self),
+            BenchKind::Actr => actr::build(self),
+            BenchKind::Raytr => raytr::build(self),
+            BenchKind::Ocean => ocean::build(self),
+            BenchKind::Qsort => qsort::build(self),
+        }
+    }
+}
+
+/// A ready-to-run benchmark.
+pub struct BenchInstance {
+    /// One workload per core, in `ThreadId` order.
+    pub workloads: Vec<Box<dyn Workload>>,
+    /// Initial memory image.
+    pub init: Vec<(Addr, u64)>,
+    /// Post-run correctness check over the final memory; returns a
+    /// description of the violation, if any.
+    pub verify: Verifier,
+}
+
+/// Split `total` work items into per-thread shares (first threads get the
+/// remainder).
+pub(crate) fn share(total: u64, threads: usize, tid: usize) -> u64 {
+    let base = total / threads as u64;
+    let extra = total % threads as u64;
+    base + u64::from((tid as u64) < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_total() {
+        for total in [0u64, 1, 7, 1000] {
+            for threads in [1usize, 3, 8, 32] {
+                let sum: u64 = (0..threads).map(|t| share(total, threads, t)).sum();
+                assert_eq!(sum, total, "total={total} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_iii_lock_counts() {
+        for (kind, locks, hc) in [
+            (BenchKind::Sctr, 1, 1),
+            (BenchKind::Mctr, 1, 1),
+            (BenchKind::Dbll, 1, 1),
+            (BenchKind::Prco, 1, 1),
+            (BenchKind::Actr, 2, 2),
+            (BenchKind::Raytr, 34, 2),
+            (BenchKind::Ocean, 3, 1),
+            (BenchKind::Qsort, 1, 1),
+        ] {
+            let c = BenchConfig::paper(kind, 32);
+            assert_eq!(c.n_locks(), locks, "{kind:?}");
+            assert_eq!(c.hc_locks().len(), hc, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn default_scales_match_table_iii() {
+        assert_eq!(BenchConfig::default_scale(BenchKind::Sctr), 1000);
+        assert_eq!(BenchConfig::default_scale(BenchKind::Ocean), 258);
+        assert_eq!(BenchConfig::default_scale(BenchKind::Qsort), 16384);
+    }
+
+    #[test]
+    fn every_benchmark_builds() {
+        for kind in BenchKind::ALL {
+            let c = BenchConfig::smoke(kind, 4);
+            let inst = c.build();
+            assert_eq!(inst.workloads.len(), 4, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Multiprogrammed workloads — the paper's second future-work item
+//! (Section V): "the current GLocks mechanism does not consider
+//! multiprogrammed workloads. To deal with them, a few GLocks could be
+//! statically or dynamically shared among all of the workloads."
+//!
+//! [`MultiprogConfig`] composes two benchmarks side by side on disjoint
+//! core partitions with disjoint lock ids, data regions and barriers, so
+//! the two hardware GLocks of the baseline CMP can be *statically* split —
+//! one per workload — while everything else falls back to software locks.
+
+use crate::{BenchConfig, BenchInstance};
+use glocks_cpu::{Action, Workload};
+use glocks_mem::store::WordStore;
+use glocks_sim_base::{Addr, LockId};
+
+/// Address offset applied to the second program's data region.
+pub const B_DATA_OFFSET: u64 = 0x1000_0000;
+
+/// A workload wrapper that relocates a thread program into a private
+/// namespace: lock ids are shifted and data addresses ≥ `addr_floor` are
+/// offset. Barrier actions stay as-is — the partitioned barrier backend
+/// scopes them to the program's core group.
+struct Relocated {
+    inner: Box<dyn Workload>,
+    lock_offset: u16,
+    addr_floor: u64,
+    addr_offset: u64,
+}
+
+impl Workload for Relocated {
+    fn next(&mut self, last: u64) -> Action {
+        match self.inner.next(last) {
+            Action::Mem(op) => Action::Mem(relocate_op(op, self.addr_floor, self.addr_offset)),
+            Action::Acquire(l) => Action::Acquire(LockId(l.0 + self.lock_offset)),
+            Action::Release(l) => Action::Release(LockId(l.0 + self.lock_offset)),
+            other => other,
+        }
+    }
+}
+
+fn relocate_addr(a: Addr, floor: u64, offset: u64) -> Addr {
+    if a.0 >= floor {
+        Addr(a.0 + offset)
+    } else {
+        a
+    }
+}
+
+fn relocate_op(op: glocks_mem::MemOp, floor: u64, offset: u64) -> glocks_mem::MemOp {
+    use glocks_mem::MemOp::*;
+    match op {
+        Load(a) => Load(relocate_addr(a, floor, offset)),
+        Store(a, v) => Store(relocate_addr(a, floor, offset), v),
+        Rmw(a, k) => Rmw(relocate_addr(a, floor, offset), k),
+    }
+}
+
+/// Two benchmarks sharing one CMP on disjoint core partitions.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiprogConfig {
+    /// Runs on cores `0 .. a.threads`.
+    pub a: BenchConfig,
+    /// Runs on cores `a.threads .. a.threads + b.threads`.
+    pub b: BenchConfig,
+}
+
+impl MultiprogConfig {
+    pub fn total_threads(&self) -> usize {
+        self.a.threads + self.b.threads
+    }
+
+    /// Total workload locks (A's ids, then B's ids shifted).
+    pub fn n_locks(&self) -> usize {
+        self.a.n_locks() + self.b.n_locks()
+    }
+
+    /// Highly-contended lock ids of both programs, in the combined
+    /// namespace.
+    pub fn hc_locks(&self) -> Vec<LockId> {
+        let off = self.a.n_locks() as u16;
+        self.a
+            .hc_locks()
+            .into_iter()
+            .chain(self.b.hc_locks().into_iter().map(|l| LockId(l.0 + off)))
+            .collect()
+    }
+
+    /// The paper's static hardware sharing: the *first* highly-contended
+    /// lock of each program gets one of the CMP's two GLocks.
+    pub fn statically_shared_hc(&self) -> Vec<LockId> {
+        let off = self.a.n_locks() as u16;
+        let mut v = Vec::new();
+        if let Some(l) = self.a.hc_locks().first() {
+            v.push(*l);
+        }
+        if let Some(l) = self.b.hc_locks().first() {
+            v.push(LockId(l.0 + off));
+        }
+        v
+    }
+
+    /// Barrier partition sizes for `SimulationOptions::barrier_partitions`.
+    pub fn barrier_partitions(&self) -> Vec<usize> {
+        vec![self.a.threads, self.b.threads]
+    }
+
+    /// Build the composed instance.
+    pub fn build(&self) -> BenchInstance {
+        let ia = self.a.build();
+        let ib = self.b.build();
+        let lock_offset = self.a.n_locks() as u16;
+        let mut workloads: Vec<Box<dyn Workload>> = ia.workloads;
+        for w in ib.workloads {
+            workloads.push(Box::new(Relocated {
+                inner: w,
+                lock_offset,
+                addr_floor: crate::DATA_BASE.0,
+                addr_offset: B_DATA_OFFSET,
+            }));
+        }
+        let mut init = ia.init;
+        for (a, v) in ib.init {
+            init.push((relocate_addr(a, crate::DATA_BASE.0, B_DATA_OFFSET), v));
+        }
+        let va = ia.verify;
+        let vb = ib.verify;
+        BenchInstance {
+            workloads,
+            init,
+            verify: Box::new(move |store| {
+                va(store).map_err(|e| format!("program A: {e}"))?;
+                // Project B's region back to its original addresses.
+                let mut shadow = WordStore::new();
+                for (a, v) in store.iter() {
+                    if a.0 >= crate::DATA_BASE.0 + B_DATA_OFFSET {
+                        shadow.store(Addr(a.0 - B_DATA_OFFSET), v);
+                    }
+                }
+                vb(&shadow).map_err(|e| format!("program B: {e}"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchKind;
+
+    fn cfg() -> MultiprogConfig {
+        MultiprogConfig {
+            a: BenchConfig::smoke(BenchKind::Sctr, 4),
+            b: BenchConfig::smoke(BenchKind::Prco, 4),
+        }
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let m = cfg();
+        assert_eq!(m.total_threads(), 8);
+        assert_eq!(m.n_locks(), 2);
+        assert_eq!(m.hc_locks(), vec![LockId(0), LockId(1)]);
+        assert_eq!(m.statically_shared_hc(), vec![LockId(0), LockId(1)]);
+        assert_eq!(m.barrier_partitions(), vec![4, 4]);
+        let inst = m.build();
+        assert_eq!(inst.workloads.len(), 8);
+    }
+
+    #[test]
+    fn rmw_ops_relocate_too() {
+        use glocks_mem::RmwKind;
+        let op = relocate_op(
+            glocks_mem::MemOp::Rmw(crate::DATA_BASE, RmwKind::FetchAdd(3)),
+            crate::DATA_BASE.0,
+            B_DATA_OFFSET,
+        );
+        match op {
+            glocks_mem::MemOp::Rmw(a, RmwKind::FetchAdd(3)) => {
+                assert_eq!(a, Addr(crate::DATA_BASE.0 + B_DATA_OFFSET));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relocation_shifts_data_and_locks() {
+        let op = relocate_op(
+            glocks_mem::MemOp::Load(crate::DATA_BASE),
+            crate::DATA_BASE.0,
+            B_DATA_OFFSET,
+        );
+        assert_eq!(
+            op,
+            glocks_mem::MemOp::Load(Addr(crate::DATA_BASE.0 + B_DATA_OFFSET))
+        );
+        // lock-region addresses (below the data base) stay put
+        let op2 = relocate_op(
+            glocks_mem::MemOp::Load(Addr(0x10_000)),
+            crate::DATA_BASE.0,
+            B_DATA_OFFSET,
+        );
+        assert_eq!(op2, glocks_mem::MemOp::Load(Addr(0x10_000)));
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's post-mortem lock-contention analysis (Section IV-B,
+//! Figure 7) applied to the Raytrace kernel: run under TATAS, sample grAC
+//! cycle by cycle, decompose the lock contention rate per lock, and
+//! classify which locks deserve a hardware GLock.
+//!
+//! ```text
+//! cargo run --release --example contention_analysis
+//! ```
+
+use glocks_repro::prelude::*;
+use glocks_repro::sim_base::table::{pct, TextTable};
+use glocks_repro::workloads::contention::{classify_hc, summarize, BUCKETS};
+
+fn main() {
+    let threads = 16;
+    let bench = BenchConfig::smoke(BenchKind::Raytr, threads);
+    let inst = bench.build();
+    let cfg = CmpConfig::paper_baseline().with_cores(threads);
+    // The paper measures contention with every lock as TATAS.
+    let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
+    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
+    let (report, mem) = sim.run();
+    (inst.verify)(mem.store()).expect("verify");
+
+    let mut t = TextTable::new(format!(
+        "RAYTR lock contention rate over {} cycles (Eq. 3)",
+        report.cycles
+    ))
+    .header([
+        "lock".to_string(),
+        "acquires".to_string(),
+        "weight".to_string(),
+        format!("grAC {}-{}", BUCKETS[0].0, BUCKETS[0].1),
+        format!("grAC {}-{}", BUCKETS[1].0, BUCKETS[1].1),
+        format!("grAC {}-{}", BUCKETS[2].0, BUCKETS[2].1),
+        format!("grAC >{}", BUCKETS[3].0 - 1),
+    ]);
+    for (i, s) in summarize(&report.lcr).iter().enumerate() {
+        if s.weight < 0.001 && i >= 2 {
+            continue; // skip the near-silent statistics locks
+        }
+        t.row([
+            format!("L{i}"),
+            report.acquires[i].to_string(),
+            pct(s.weight),
+            pct(s.buckets[0]),
+            pct(s.buckets[1]),
+            pct(s.buckets[2]),
+            pct(s.buckets[3]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let hc = classify_hc(&report.lcr, threads / 4, 0.35, 0.02);
+    println!(
+        "highly-contended locks (footnote-3 criterion): {:?} of {} total",
+        hc,
+        bench.n_locks()
+    );
+    println!("→ these are the locks the paper backs with hardware GLocks.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate the paper's SCTR microbenchmark on a small CMP,
+//! once with MCS locks and once with a hardware GLock, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use glocks_repro::prelude::*;
+
+fn run(algo: LockAlgorithm, threads: usize) -> SimReport {
+    // 1. Pick a benchmark and size (Table III's defaults via `paper`,
+    //    reduced sizes via `smoke`).
+    let bench = BenchConfig::smoke(BenchKind::Sctr, threads);
+    let inst = bench.build();
+
+    // 2. Configure the CMP (Table II baseline) and the lock mapping: the
+    //    benchmark's highly-contended locks use `algo`, the rest TATAS.
+    let cfg = CmpConfig::paper_baseline().with_cores(threads);
+    let mapping = LockMapping::hybrid(&bench.hc_locks(), algo, bench.n_locks());
+
+    // 3. Run the parallel phase to completion.
+    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
+    let (report, mem) = sim.run();
+
+    // 4. Every benchmark carries its own correctness verifier.
+    (inst.verify)(mem.store()).expect("benchmark must verify");
+    report
+}
+
+fn main() {
+    let threads = 16;
+    let mcs = run(LockAlgorithm::Mcs, threads);
+    let gl = run(LockAlgorithm::Glock, threads);
+
+    println!("SCTR on a {threads}-core CMP ({} lock acquisitions):", mcs.acquires[0]);
+    for (name, r) in [("MCS  ", &mcs), ("GLock", &gl)] {
+        let f = r.avg_fractions();
+        println!(
+            "  {name}: {:>8} cycles | busy {:>4.1}% mem {:>4.1}% lock {:>4.1}% | {:>8} NoC bytes | ED2P {:.2e}",
+            r.cycles,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            r.traffic.total_bytes(),
+            r.ed2p,
+        );
+    }
+    println!(
+        "\nGLocks vs MCS: {:.0}% faster, {:.0}% less traffic, {:.0}% lower ED2P",
+        (1.0 - gl.cycles as f64 / mcs.cycles as f64) * 100.0,
+        (1.0 - gl.traffic.total_bytes() as f64 / mcs.traffic.total_bytes() as f64) * 100.0,
+        (1.0 - gl.ed2p / mcs.ed2p) * 100.0,
+    );
+    println!(
+        "hardware cost of that GLock (Table I): {:?}",
+        GlockCost::for_cores(threads)
+    );
+}

@@ -1,0 +1,53 @@
+//! # glocks-repro
+//!
+//! A full reproduction of *GLocks: Efficient Support for Highly-Contended
+//! Locks in Many-Core CMPs* (Abellán, Fernández, Acacio — IPDPS 2011),
+//! including the cycle-level tiled-CMP simulation substrate the paper's
+//! evaluation runs on.
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`glocks`] — the paper's contribution: G-line networks, the
+//!   token-based controller hierarchy and the Table I cost model.
+//! * [`sim`] — the assembled CMP simulator (cores + caches + MESI directory
+//!   + 2D-mesh NoC + energy model).
+//! * [`locks`] — software lock baselines (TATAS, MCS, ticket, …) expressed
+//!   as state machines over simulated memory operations.
+//! * [`workloads`] — the paper's microbenchmarks (SCTR, MCTR, DBLL, PRCO,
+//!   ACTR) and application kernels (RAYTR, OCEAN, QSORT).
+//! * [`harness`] — one experiment driver per paper table/figure.
+//!
+//! ```
+//! use glocks_repro::prelude::*;
+//!
+//! // SCTR on an 8-core CMP: highly-contended lock backed by a GLock.
+//! let bench = BenchConfig::smoke(BenchKind::Sctr, 8);
+//! let inst = bench.build();
+//! let cfg = CmpConfig::paper_baseline().with_cores(8);
+//! let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks());
+//! let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
+//! let (report, mem) = sim.run();
+//! assert!((inst.verify)(mem.store()).is_ok());
+//! assert!(report.cycles > 0);
+//! ```
+
+pub use glocks;
+pub use glocks_cpu as cpu;
+pub use glocks_energy as energy;
+pub use glocks_harness as harness;
+pub use glocks_locks as locks;
+pub use glocks_mem as mem;
+pub use glocks_noc as noc;
+pub use glocks_sim as sim;
+pub use glocks_sim_base as sim_base;
+pub use glocks_workloads as workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::glocks::{GBarrierNetwork, GlockCost, GlockNetwork, GlockPool, GlockRegisters, Topology};
+    pub use crate::locks::LockAlgorithm;
+    pub use crate::sim::summary::render as render_summary;
+    pub use crate::sim::{LockMapping, SimReport, Simulation, SimulationOptions};
+    pub use crate::sim_base::{Addr, CmpConfig, CoreId, Cycle, LockId, Mesh2D, ThreadId};
+    pub use crate::workloads::{BenchConfig, BenchInstance, BenchKind};
+}

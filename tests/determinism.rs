@@ -1,0 +1,49 @@
+//! The simulator must be bit-reproducible: identical configurations give
+//! identical cycle counts, traffic, energy, and contention profiles.
+
+use glocks_repro::prelude::*;
+
+fn run_once(kind: BenchKind, algo: LockAlgorithm, threads: usize) -> (Cycle, u64, u64, String) {
+    let bench = BenchConfig::smoke(kind, threads);
+    let inst = bench.build();
+    let cfg = CmpConfig::paper_baseline().with_cores(threads);
+    let mapping = LockMapping::hybrid(&bench.hc_locks(), algo, bench.n_locks());
+    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
+    let (report, mem) = sim.run();
+    (inst.verify)(mem.store()).expect("verify");
+    (
+        report.cycles,
+        report.traffic.total_bytes(),
+        report.instructions(),
+        format!("{:?}", report.lcr),
+    )
+}
+
+#[test]
+fn identical_runs_are_identical() {
+    for kind in [BenchKind::Sctr, BenchKind::Qsort, BenchKind::Raytr] {
+        for algo in [LockAlgorithm::Mcs, LockAlgorithm::Glock] {
+            let a = run_once(kind, algo, 8);
+            let b = run_once(kind, algo, 8);
+            assert_eq!(a, b, "{kind:?}/{algo:?} diverged between runs");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_app_kernels() {
+    let mut bench = BenchConfig::smoke(BenchKind::Qsort, 8);
+    let build = |b: &BenchConfig| {
+        let inst = b.build();
+        let cfg = CmpConfig::paper_baseline().with_cores(8);
+        let mapping = LockMapping::hybrid(&b.hc_locks(), LockAlgorithm::Mcs, b.n_locks());
+        let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
+        let (report, mem) = sim.run();
+        (inst.verify)(mem.store()).expect("verify");
+        report.cycles
+    };
+    let a = build(&bench);
+    bench.seed ^= 0xDEAD_BEEF;
+    let b = build(&bench);
+    assert_ne!(a, b, "seed must influence the generated input data");
+}
