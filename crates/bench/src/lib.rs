@@ -31,7 +31,7 @@ pub fn run_mapped(bench: &BenchConfig, mapping: &LockMapping) -> SimReport {
         &inst.init,
         SimulationOptions::default(),
     );
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("bench case must verify");
     report
 }

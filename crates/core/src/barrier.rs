@@ -113,9 +113,9 @@ impl GBarrierNetwork {
         let children = self.children[node].clone();
         for c in children {
             match c {
-                Child::Arb(a) => self.wires.send(now, self.latency, Endpoint::Arb(a), Sig::Token, 0),
+                Child::Arb(a) => self.wires.send(now, self.latency, Endpoint::Arb(a), Sig::Token, 0, 0),
                 Child::Leaf(core) => {
-                    self.wires.send(now, self.latency, Endpoint::Leaf(core), Sig::Token, 0)
+                    self.wires.send(now, self.latency, Endpoint::Leaf(core), Sig::Token, 0, 0)
                 }
             }
         }
@@ -148,7 +148,7 @@ impl GBarrierNetwork {
         for c in 0..self.leaf_sent.len() {
             if !self.leaf_sent[c] && self.regs.raised(c) {
                 let (p, ci) = self.leaf_parent[c];
-                self.wires.send(now, self.latency, Endpoint::Arb(p), Sig::Req, ci);
+                self.wires.send(now, self.latency, Endpoint::Arb(p), Sig::Req, ci, 0);
                 self.leaf_sent[c] = true;
             }
         }
@@ -157,7 +157,7 @@ impl GBarrierNetwork {
             if self.counts[a] == self.expected[a] && !self.forwarded[a] {
                 match self.parents[a] {
                     Some((p, ci)) => {
-                        self.wires.send(now, self.latency, Endpoint::Arb(p), Sig::Req, ci);
+                        self.wires.send(now, self.latency, Endpoint::Arb(p), Sig::Req, ci, 0);
                         self.forwarded[a] = true;
                     }
                     None => {

@@ -37,6 +37,7 @@ pub mod topology;
 pub use barrier::{BarrierRegs, GBarrierNetwork};
 pub use cost::GlockCost;
 pub use network::{GlockNetwork, GlockStats};
+pub use node::RetryPolicy;
 pub use pool::{GlockPool, PoolDecision, PoolStats};
 pub use regs::GlockRegisters;
 pub use topology::Topology;

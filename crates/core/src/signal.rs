@@ -4,7 +4,14 @@
 //! (configurable via `gline_latency` for the paper's "longer-latency
 //! G-lines" scaling path). The synchronization protocol needs three signal
 //! types (Section III-B).
+//!
+//! Beyond the paper, every `TOKEN`/`REL` carries the delegating arbiter's
+//! **epoch** (a per-arbiter monotone delegation counter) so the hardened
+//! automata in [`crate::node`] can reject stale and duplicated tokens, and
+//! the wires accept an optional [`FaultInjector`] that drops, delays or
+//! duplicates transmissions according to a deterministic schedule.
 
+use glocks_sim_base::fault::{FaultDecision, FaultInjector};
 use glocks_sim_base::{CoreId, Cycle};
 
 /// The three 1-bit signal types of the GLocks protocol.
@@ -18,6 +25,20 @@ pub enum Sig {
     Rel,
 }
 
+/// A signal in flight on a G-line.
+#[derive(Clone, Copy, Debug)]
+pub struct InFlight {
+    pub deliver_at: Cycle,
+    pub dst: Endpoint,
+    pub sig: Sig,
+    /// Sender's index within the receiver's child list (for `Req`/`Rel`
+    /// to arbiters; ignored for `Token` and leaf deliveries).
+    pub child_index: usize,
+    /// Delegation epoch: the delegating arbiter's counter value for
+    /// `Token`, echoed back on the matching `Rel`; 0 for `Req`.
+    pub epoch: u64,
+}
+
 /// A signal destination inside one lock's controller tree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Endpoint {
@@ -28,22 +49,13 @@ pub enum Endpoint {
     Leaf(CoreId),
 }
 
-/// A signal in flight on a G-line.
-#[derive(Clone, Copy, Debug)]
-pub struct InFlight {
-    pub deliver_at: Cycle,
-    pub dst: Endpoint,
-    pub sig: Sig,
-    /// Sender's index within the receiver's child list (for `Req`/`Rel`
-    /// to arbiters; ignored for `Token` and leaf deliveries).
-    pub child_index: usize,
-}
-
 /// The set of signals currently on the wires of one lock's network.
 #[derive(Debug, Default)]
 pub struct Wires {
     in_flight: Vec<InFlight>,
     sent: u64,
+    dropped: u64,
+    faults: Option<FaultInjector>,
 }
 
 impl Wires {
@@ -51,16 +63,48 @@ impl Wires {
         Self::default()
     }
 
+    /// Subject every subsequent transmission to the injector's schedule.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
     /// Put a signal on a G-line at cycle `now`; it is visible to the
-    /// receiver's automaton from cycle `now + latency` on.
-    pub fn send(&mut self, now: Cycle, latency: u64, dst: Endpoint, sig: Sig, child_index: usize) {
+    /// receiver's automaton from cycle `now + latency` on — unless the
+    /// fault schedule drops, delays or duplicates it.
+    pub fn send(
+        &mut self,
+        now: Cycle,
+        latency: u64,
+        dst: Endpoint,
+        sig: Sig,
+        child_index: usize,
+        epoch: u64,
+    ) {
         self.sent += 1;
-        self.in_flight.push(InFlight {
-            deliver_at: now + latency,
-            dst,
-            sig,
-            child_index,
-        });
+        let mut deliver_at = now + latency;
+        if let Some(f) = self.faults.as_mut() {
+            match f.decide() {
+                FaultDecision::Deliver => {}
+                FaultDecision::Drop => {
+                    self.dropped += 1;
+                    return;
+                }
+                FaultDecision::Delay(extra) => deliver_at += extra,
+                FaultDecision::Duplicate => {
+                    // The glitched copy trails the original by one cycle
+                    // and is a real transmission for the energy model.
+                    self.sent += 1;
+                    self.in_flight.push(InFlight {
+                        deliver_at: deliver_at + 1,
+                        dst,
+                        sig,
+                        child_index,
+                        epoch,
+                    });
+                }
+            }
+        }
+        self.in_flight.push(InFlight { deliver_at, dst, sig, child_index, epoch });
     }
 
     /// Pop all signals due at `now` (in send order).
@@ -75,9 +119,15 @@ impl Wires {
         }
     }
 
-    /// Total signal transmissions so far (energy-model input).
+    /// Total signal transmissions so far (energy-model input; dropped
+    /// signals were still driven onto the wire and count).
     pub fn signals_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Transmissions lost to the fault schedule.
+    pub fn signals_dropped(&self) -> u64 {
+        self.dropped
     }
 
     pub fn is_idle(&self) -> bool {
@@ -88,13 +138,14 @@ impl Wires {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use glocks_sim_base::fault::{FaultPlan, FaultRates, FaultSite};
 
     #[test]
     fn delivery_respects_latency_and_order() {
         let mut w = Wires::new();
-        w.send(10, 1, Endpoint::Arb(0), Sig::Req, 2);
-        w.send(10, 1, Endpoint::Arb(0), Sig::Rel, 3);
-        w.send(10, 2, Endpoint::Leaf(CoreId(5)), Sig::Token, 0);
+        w.send(10, 1, Endpoint::Arb(0), Sig::Req, 2, 0);
+        w.send(10, 1, Endpoint::Arb(0), Sig::Rel, 3, 7);
+        w.send(10, 2, Endpoint::Leaf(CoreId(5)), Sig::Token, 0, 9);
         let mut got = Vec::new();
         w.deliver_due(10, &mut got);
         assert!(got.is_empty());
@@ -102,11 +153,44 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].sig, Sig::Req);
         assert_eq!(got[1].sig, Sig::Rel);
+        assert_eq!(got[1].epoch, 7);
         got.clear();
         w.deliver_due(12, &mut got);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].dst, Endpoint::Leaf(CoreId(5)));
+        assert_eq!(got[0].epoch, 9);
         assert!(w.is_idle());
         assert_eq!(w.signals_sent(), 3);
+        assert_eq!(w.signals_dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_signals_never_arrive_but_still_count() {
+        let mut plan = FaultPlan::seeded(7);
+        plan.gline = FaultRates::drops(1_000_000);
+        let mut w = Wires::new();
+        w.set_faults(plan.injector(FaultSite::Gline, 0));
+        for i in 0..20 {
+            w.send(i, 1, Endpoint::Arb(0), Sig::Req, 0, 0);
+        }
+        let mut got = Vec::new();
+        w.deliver_due(1_000, &mut got);
+        assert!(got.is_empty(), "all transmissions were dropped");
+        assert_eq!(w.signals_sent(), 20);
+        assert_eq!(w.signals_dropped(), 20);
+    }
+
+    #[test]
+    fn duplicated_signals_arrive_twice() {
+        let mut plan = FaultPlan::seeded(7);
+        plan.gline = FaultRates::duplicates(1_000_000);
+        let mut w = Wires::new();
+        w.set_faults(plan.injector(FaultSite::Gline, 0));
+        w.send(0, 1, Endpoint::Leaf(CoreId(1)), Sig::Token, 0, 3);
+        let mut got = Vec::new();
+        w.deliver_due(100, &mut got);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|s| s.epoch == 3));
+        assert_eq!(w.signals_sent(), 2);
     }
 }

@@ -1,16 +1,35 @@
 //! Property tests of the GLock G-line network: under arbitrary
 //! request/hold/release schedules the token stays unique, every request is
-//! eventually granted, and saturated rounds are round-robin fair.
+//! eventually granted, and saturated rounds are round-robin fair — and all
+//! of that holds unchanged under randomized fault schedules that drop,
+//! delay, and duplicate G-line signals.
 
 use glocks::{GlockNetwork, Topology};
+use glocks_sim_base::fault::{FaultPlan, FaultRates, FaultSite};
 use glocks_sim_base::{Mesh2D, SplitMix64};
 use proptest::prelude::*;
 
 /// Drive a network with a random schedule derived from `seed`:
 /// each core requests `rounds` times with random think/hold times.
 fn drive(topo: &Topology, latency: u64, seed: u64, rounds: u32) -> GlockNetwork {
+    drive_with_faults(topo, latency, seed, rounds, FaultRates::NONE)
+}
+
+/// [`drive`] with an injected fault schedule on the G-lines.
+fn drive_with_faults(
+    topo: &Topology,
+    latency: u64,
+    seed: u64,
+    rounds: u32,
+    rates: FaultRates,
+) -> GlockNetwork {
     let n = topo.n_cores;
     let mut net = GlockNetwork::new(topo, latency);
+    if rates.is_active() {
+        let mut plan = FaultPlan::seeded(seed ^ 0xFA17);
+        plan.gline = rates;
+        net.set_faults(plan.injector(FaultSite::Gline, 0));
+    }
     let regs = net.regs();
     let mut rng = SplitMix64::new(seed);
     // Per-core plan: remaining rounds, state (0 idle-wait, 1 requested,
@@ -92,8 +111,14 @@ fn drive(topo: &Topology, latency: u64, seed: u64, rounds: u32) -> GlockNetwork 
         now += 1;
         assert!(now < 2_000_000, "drain stalled");
     }
-    for t in now..now + 100 {
+    // Post-workload recovery: a REL or TOKEN lost at the very end is only
+    // repaired by the retry timers (bounded exponential backoff), so
+    // draining to idle can legitimately take several timeout periods.
+    let mut t = now;
+    while !net.is_idle() {
         net.tick(t);
+        t += 1;
+        assert!(t < now + 2_000_000, "wires never drained");
     }
     net
 }
@@ -132,6 +157,56 @@ proptest! {
     }
 }
 
+// Same invariants, hostile wires: every schedule keeps mutual exclusion
+// (checked every tick inside `drive_with_faults`) and grants every request
+// exactly once, no matter what the fault plan drops, delays, or duplicates.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_schedules_survive_mixed_gline_faults(
+        seed in any::<u64>(),
+        cols in 2u16..5,
+        rows in 1u16..4,
+        rounds in 1u32..4,
+        drop_ppm in 0u32..80_000,
+        dup_ppm in 0u32..40_000,
+        delay_ppm in 0u32..80_000,
+    ) {
+        let topo = Topology::flat(Mesh2D::new(cols, rows));
+        let rates = FaultRates {
+            drop_ppm,
+            duplicate_ppm: dup_ppm,
+            delay_ppm,
+            max_delay: 32,
+        };
+        let net = drive_with_faults(&topo, 1, seed, rounds, rates);
+        prop_assert!(net.is_idle(), "network must drain under faults");
+        prop_assert_eq!(
+            net.stats().grants,
+            (cols as u64 * rows as u64) * rounds as u64
+        );
+    }
+
+    #[test]
+    fn hierarchical_topologies_survive_dropped_signals(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        drop_ppm in 1_000u32..60_000,
+    ) {
+        let mesh = Mesh2D::near_square(n);
+        let topo = Topology::hierarchical(mesh, 7);
+        let net = drive_with_faults(&topo, 1, seed, 2, FaultRates::drops(drop_ppm));
+        prop_assert!(net.is_idle());
+        prop_assert_eq!(net.stats().grants, n as u64 * 2);
+        if drop_ppm > 10_000 {
+            // A lossy run of this size essentially always loses at least
+            // one signal, and recovery must show up as retransmissions.
+            prop_assert!(net.stats().dropped == 0 || net.stats().retransmits > 0);
+        }
+    }
+}
+
 #[test]
 fn saturated_rounds_are_round_robin_fair() {
     // Deterministic saturation check over several sizes: in every full
@@ -159,6 +234,7 @@ fn saturated_rounds_are_round_robin_fair() {
             now += 1;
             assert!(now < 200_000);
         }
+        assert!(!net.grant_log_truncated(), "fairness checked on a full log");
         let log = net.grant_log();
         for r in 0..rounds {
             let mut round: Vec<u16> = log[r * n..(r + 1) * n].iter().map(|c| c.0).collect();

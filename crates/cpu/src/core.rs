@@ -39,6 +39,28 @@ enum State {
     Finished,
 }
 
+/// What a core is doing right now, at sub-script granularity — the unit of
+/// the runner's wedge diagnostics. A core spinning inside a lock acquire
+/// reports `Acquiring`, not `Computing`, because the spin itself retires
+/// instructions every cycle and would otherwise look healthy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreActivity {
+    /// Between steps.
+    Ready,
+    /// Retiring plain compute.
+    Computing,
+    /// Blocked on the memory system.
+    WaitingMem,
+    /// Inside a lock-acquire script.
+    Acquiring(LockId),
+    /// Inside a lock-release script.
+    Releasing(LockId),
+    /// Inside a barrier-wait script.
+    InBarrier,
+    /// Thread done.
+    Finished,
+}
+
 /// One in-order core running one thread.
 pub struct Core {
     id: CoreId,
@@ -50,6 +72,7 @@ pub struct Core {
     last_value: u64,
     breakdown: Breakdown,
     finished_at: Option<Cycle>,
+    progress_events: u64,
 }
 
 impl Core {
@@ -65,6 +88,7 @@ impl Core {
             last_value: 0,
             breakdown: Breakdown::default(),
             finished_at: None,
+            progress_events: 0,
         }
     }
 
@@ -83,6 +107,31 @@ impl Core {
 
     pub fn breakdown(&self) -> &Breakdown {
         &self.breakdown
+    }
+
+    /// Monotone count of workload-level progress: top-level actions pulled
+    /// and lock/barrier sub-scripts completed. A core livelocked in a spin
+    /// loop retires instructions but never bumps this, which is exactly
+    /// what the runner's watchdog needs to see.
+    pub fn progress_events(&self) -> u64 {
+        self.progress_events
+    }
+
+    /// Current activity for wedge diagnostics.
+    pub fn activity(&self) -> CoreActivity {
+        if let Some(sub) = &self.sub {
+            return match sub.kind {
+                SubKind::Acquire(l) => CoreActivity::Acquiring(l),
+                SubKind::Release(l) => CoreActivity::Releasing(l),
+                SubKind::Barrier => CoreActivity::InBarrier,
+            };
+        }
+        match self.state {
+            State::Ready => CoreActivity::Ready,
+            State::Computing(_) => CoreActivity::Computing,
+            State::WaitingMem => CoreActivity::WaitingMem,
+            State::Finished => CoreActivity::Finished,
+        }
     }
 
     fn category(&self) -> Category {
@@ -146,6 +195,7 @@ impl Core {
             let step = if let Some(sub) = self.sub.as_mut() {
                 let s = sub.script.resume(self.last_value);
                 if let Step::Done = s {
+                    self.progress_events += 1;
                     if let SubKind::Acquire(l) = sub.kind {
                         trace_event!(
                             TraceMask::LOCK,
@@ -161,6 +211,7 @@ impl Core {
                 }
                 s
             } else {
+                self.progress_events += 1;
                 match self.workload.next(self.last_value) {
                     Action::Compute(n) => Step::Compute(n),
                     Action::Mem(op) => Step::Mem(op),

@@ -19,7 +19,7 @@ pub mod core;
 pub mod program;
 pub mod tracker;
 
-pub use crate::core::{Backends, Core};
+pub use crate::core::{Backends, Core, CoreActivity};
 pub use breakdown::{Breakdown, Category};
 pub use program::{Action, BarrierBackend, FixedScript, LockBackend, Script, Step, Workload};
 pub use tracker::LockTracker;

@@ -16,12 +16,26 @@ use glocks_sim_base::table::TextTable;
 use glocks_sim_base::CmpConfig;
 use glocks_workloads::{BenchConfig, BenchKind};
 
-fn run_once(cfg: &CmpConfig, bench: &BenchConfig, mapping: &LockMapping, opts: SimulationOptions) -> u64 {
+/// One ablation cell. A wedged run is logged and comes back as `None`, so
+/// the rest of the sweep still renders.
+fn run_once(cfg: &CmpConfig, bench: &BenchConfig, mapping: &LockMapping, opts: SimulationOptions) -> Option<u64> {
     let inst = bench.build();
     let sim = Simulation::new(cfg, mapping, inst.workloads, &inst.init, opts);
-    let (report, mem) = sim.run();
-    (inst.verify)(mem.store()).expect("ablation run must verify");
-    report.cycles
+    match sim.run() {
+        Ok((report, mem)) => {
+            (inst.verify)(mem.store()).expect("ablation run must verify");
+            Some(report.cycles)
+        }
+        Err(e) => {
+            eprintln!("[ablation] {:?} with {} wedged ({}); skipping\n{e}", bench.kind, mapping.label(), e.kind());
+            None
+        }
+    }
+}
+
+/// Render an ablation cell, keeping wedged configurations visible.
+fn cell(cycles: Option<u64>) -> String {
+    cycles.map_or_else(|| "wedged".to_string(), |c| c.to_string())
 }
 
 /// Every lock algorithm on SCTR across thread counts: execution time in
@@ -54,7 +68,7 @@ pub fn algorithm_sweep(opts: &ExpOptions) -> TextTable {
             let cfg = CmpConfig::paper_baseline().with_cores(n);
             let mapping = LockMapping::uniform(algo, 1);
             let cycles = run_once(&cfg, &bench, &mapping, SimulationOptions::default());
-            row.push(cycles.to_string());
+            row.push(cell(cycles));
         }
         t.row(row);
     }
@@ -71,7 +85,9 @@ pub fn gline_latency_sweep(opts: &ExpOptions) -> TextTable {
         cfg.glocks.gline_latency = lat;
         let bench = opts.bench(BenchKind::Sctr);
         let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
-        let cycles = run_once(&cfg, &bench, &mapping, SimulationOptions::default());
+        let Some(cycles) = run_once(&cfg, &bench, &mapping, SimulationOptions::default()) else {
+            continue;
+        };
         if lat == 1 {
             base = cycles;
         }
@@ -93,16 +109,16 @@ pub fn hierarchy_study(opts: &ExpOptions) -> TextTable {
     let cfg = CmpConfig::paper_baseline().with_cores(opts.threads);
     let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
     let flat = run_once(&cfg, &bench, &mapping, SimulationOptions::default());
-    t.row(["flat".to_string(), opts.threads.to_string(), flat.to_string()]);
+    t.row(["flat".to_string(), opts.threads.to_string(), cell(flat)]);
     let o = SimulationOptions { force_hierarchical_glocks: true, ..Default::default() };
     let hier = run_once(&cfg, &bench, &mapping, o);
-    t.row(["hierarchical".to_string(), opts.threads.to_string(), hier.to_string()]);
+    t.row(["hierarchical".to_string(), opts.threads.to_string(), cell(hier)]);
     // Beyond the flat limit: 64 cores (only reachable hierarchically).
     let big = 64;
     let bench64 = opts.bench_on(BenchKind::Sctr, big);
     let cfg64 = CmpConfig::paper_baseline().with_cores(big);
     let c64 = run_once(&cfg64, &bench64, &mapping, SimulationOptions::default());
-    t.row(["hierarchical".to_string(), big.to_string(), c64.to_string()]);
+    t.row(["hierarchical".to_string(), big.to_string(), cell(c64)]);
     t
 }
 
@@ -121,7 +137,13 @@ pub fn fairness_study(opts: &ExpOptions) -> TextTable {
         let mapping = LockMapping::uniform(algo, 1);
         let inst = bench.build();
         let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-        let (report, mem) = sim.run();
+        let (report, mem) = match sim.run() {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("[ablation] fairness run under {} wedged ({}); skipping\n{e}", algo.name(), e.kind());
+                continue;
+            }
+        };
         (inst.verify)(mem.store()).expect("fairness run must verify");
         // Per-thread acquisition counts are fixed by the workload (each
         // thread performs its share), so fairness shows in the wait time.
@@ -148,21 +170,21 @@ pub fn dynamic_sharing_study(opts: &ExpOptions) -> TextTable {
     let inst = bench.build();
     let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Mcs, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run();
+    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
     (inst.verify)(mem.store()).expect("verify");
     t.row(["MCS hybrid".to_string(), r.cycles.to_string(), "-".into(), "-".into(), "-".into()]);
     // Static GLocks (the paper's configuration: programmer names the HC locks).
     let inst = bench.build();
     let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run();
+    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
     (inst.verify)(mem.store()).expect("verify");
     t.row(["static GLocks".to_string(), r.cycles.to_string(), "-".into(), "-".into(), "-".into()]);
     // Dynamic sharing: every lock uses the pool.
     let inst = bench.build();
     let mapping = LockMapping::uniform(LockAlgorithm::DynamicGlock, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run();
+    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
     (inst.verify)(mem.store()).expect("verify");
     let p = r.pool.expect("pool stats");
     t.row([
@@ -190,12 +212,11 @@ pub fn barrier_study(opts: &ExpOptions) -> TextTable {
         let sw = run_once(&cfg, &bench, &mapping, SimulationOptions::default());
         let hw_opts = SimulationOptions { hardware_barrier: true, ..Default::default() };
         let hw = run_once(&cfg, &bench, &mapping, hw_opts);
-        t.row([
-            kind.name().to_string(),
-            sw.to_string(),
-            hw.to_string(),
-            format!("{:.1}%", (1.0 - hw as f64 / sw as f64) * 100.0),
-        ]);
+        let reduction = match (sw, hw) {
+            (Some(s), Some(h)) => format!("{:.1}%", (1.0 - h as f64 / s as f64) * 100.0),
+            _ => "-".to_string(),
+        };
+        t.row([kind.name().to_string(), cell(sw), cell(hw), reduction]);
     }
     t
 }
@@ -228,7 +249,7 @@ pub fn energy_sensitivity(opts: &ExpOptions) -> TextTable {
             let opts_sim = SimulationOptions { energy_model: model, ..Default::default() };
             let mapping = LockMapping::uniform(algo, bench.n_locks());
             let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts_sim);
-            let (r, mem) = sim.run();
+            let (r, mem) = sim.run().expect("energy-sensitivity ablation wedged");
             (inst.verify)(mem.store()).expect("verify");
             r.ed2p
         };

@@ -4,13 +4,13 @@
 //! glocks-experiments [EXPERIMENT ...] [--quick] [--threads N] [--csv DIR]
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
-//!           | table1 | table2 | table3 | table4 | ablations | multiprog
+//!           | table1 | table2 | table3 | table4 | ablations | multiprog | faults
 //! --quick     reduced input sizes (seconds instead of minutes)
 //! --threads N CMP size for the main experiments (default 32)
 //! --csv DIR   additionally write each table as DIR/<experiment>.csv
 //! ```
 
-use glocks_harness::{ablation, exp::ExpOptions, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4};
+use glocks_harness::{ablation, exp::ExpOptions, faults, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4};
 use std::time::Instant;
 
 fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
@@ -45,7 +45,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|stats]... [--quick] [--threads N] [--csv DIR]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|stats]... [--quick] [--threads N] [--csv DIR]"
                 );
                 return;
             }
@@ -56,7 +56,7 @@ fn main() {
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = [
             "table1", "table2", "table3", "fig1", "fig7", "fig8", "table4", "fig9", "fig10",
-            "ablations", "multiprog",
+            "ablations", "multiprog", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -124,14 +124,19 @@ fn main() {
                 write_csv(&csv_dir, "fig10", &t);
             }
             "stats" => {
-                use glocks_harness::exp::{glock_mapping, run_bench};
+                use glocks_harness::exp::{glock_mapping, try_run_bench};
                 use glocks_workloads::BenchKind;
                 for kind in BenchKind::ALL {
                     let bench = opts.bench(kind);
-                    let r = run_bench(&bench, &glock_mapping(&bench));
+                    let Some(r) = try_run_bench(&bench, &glock_mapping(&bench)) else { continue };
                     println!("--- {} under GLocks ---", kind.name());
                     println!("{}", glocks_sim::summary::render(&r.report));
                 }
+            }
+            "faults" => {
+                let t = faults::run(&opts);
+                println!("{}", t.render());
+                write_csv(&csv_dir, "faults", &t);
             }
             "multiprog" => {
                 let t = multiprog::run_study(&opts);

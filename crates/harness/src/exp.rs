@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: configure → run → verify → report.
 
 use glocks_locks::LockAlgorithm;
-use glocks_sim::{LockMapping, SimReport, Simulation, SimulationOptions};
+use glocks_sim::{LockMapping, SimError, SimReport, Simulation, SimulationOptions};
 use glocks_sim_base::CmpConfig;
 use glocks_workloads::{BenchConfig, BenchKind};
 
@@ -42,20 +42,25 @@ pub struct RunResult {
     pub report: SimReport,
 }
 
-/// Run `kind` with the given lock mapping; panics if the benchmark's
-/// verifier rejects the final memory (every experiment doubles as a
-/// correctness test).
-pub fn run_bench(bench: &BenchConfig, mapping: &LockMapping) -> RunResult {
+/// Run `kind` with the given lock mapping. A wedged run comes back as
+/// `Err(SimError)` so a sweep can log it and keep going; a *verification*
+/// failure still panics — every experiment doubles as a correctness test,
+/// and a wrong answer (unlike a wedge under faults) is always a bug.
+pub fn run_bench(bench: &BenchConfig, mapping: &LockMapping) -> Result<RunResult, SimError> {
+    run_bench_with(bench, mapping, SimulationOptions::default())
+}
+
+/// [`run_bench`] with explicit simulation options (fault plans, watchdog
+/// windows, ...).
+pub fn run_bench_with(
+    bench: &BenchConfig,
+    mapping: &LockMapping,
+    options: SimulationOptions,
+) -> Result<RunResult, SimError> {
     let inst = bench.build();
     let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
-    let sim = Simulation::new(
-        &cfg,
-        mapping,
-        inst.workloads,
-        &inst.init,
-        SimulationOptions::default(),
-    );
-    let (report, mem) = sim.run();
+    let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, options);
+    let (report, mem) = sim.run()?;
     if let Err(e) = (inst.verify)(mem.store()) {
         panic!(
             "{:?} with {} failed verification: {e}",
@@ -63,11 +68,29 @@ pub fn run_bench(bench: &BenchConfig, mapping: &LockMapping) -> RunResult {
             mapping.label()
         );
     }
-    RunResult {
+    Ok(RunResult {
         kind: bench.kind,
         label: mapping.label(),
         threads: bench.threads,
         report,
+    })
+}
+
+/// Sweep-friendly wrapper: log a wedged configuration to stderr and return
+/// `None` so the caller's remaining experiments still run.
+pub fn try_run_bench(bench: &BenchConfig, mapping: &LockMapping) -> Option<RunResult> {
+    match run_bench(bench, mapping) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!(
+                "[harness] {:?} x{} with {} wedged ({}); skipping\n{e}",
+                bench.kind,
+                bench.threads,
+                mapping.label(),
+                e.kind()
+            );
+            None
+        }
     }
 }
 
@@ -88,7 +111,7 @@ mod tests {
     fn quick_run_produces_report() {
         let opts = ExpOptions { quick: true, threads: 4 };
         let bench = opts.bench(BenchKind::Sctr);
-        let r = run_bench(&bench, &mcs_mapping(&bench));
+        let r = run_bench(&bench, &mcs_mapping(&bench)).expect("fault-free run");
         assert!(r.report.cycles > 0);
         assert_eq!(r.label, "MCS");
     }

@@ -9,7 +9,7 @@
 //! The paper's observation to reproduce: TATAS-2 recovers nearly all of
 //! IDEAL's gain, because only 2 of the 34 locks are highly contended.
 
-use crate::exp::{run_bench, ExpOptions};
+use crate::exp::{try_run_bench, ExpOptions};
 use glocks_locks::LockAlgorithm;
 use glocks_sim::LockMapping;
 use glocks_sim_base::table::{norm, pct, TextTable};
@@ -35,7 +35,7 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Fig1Row>) {
     let mut rows = Vec::new();
     let mut base = 0u64;
     for (name, mapping) in &configs {
-        let r = run_bench(&bench, mapping);
+        let Some(r) = try_run_bench(&bench, mapping) else { continue };
         if *name == "TATAS" {
             base = r.report.cycles;
         }

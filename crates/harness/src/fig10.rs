@@ -1,7 +1,7 @@
 //! Figure 10: normalized energy-delay² product (ED²P) for the full CMP,
 //! GLocks vs MCS, with the per-component energy split.
 
-use crate::exp::{glock_mapping, mcs_mapping, run_bench, ExpOptions};
+use crate::exp::{glock_mapping, mcs_mapping, try_run_bench, ExpOptions};
 use glocks_energy::EnergyReport;
 use glocks_sim_base::table::{bar, norm, pct, TextTable};
 use glocks_workloads::BenchKind;
@@ -41,8 +41,9 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Fig10Row>) {
     let mut rows = Vec::new();
     for kind in BenchKind::ALL {
         let bench = opts.bench(kind);
-        let mcs = run_bench(&bench, &mcs_mapping(&bench)).report;
-        let gl = run_bench(&bench, &glock_mapping(&bench)).report;
+        let Some(mcs) = try_run_bench(&bench, &mcs_mapping(&bench)) else { continue };
+        let Some(gl) = try_run_bench(&bench, &glock_mapping(&bench)) else { continue };
+        let (mcs, gl) = (mcs.report, gl.report);
         rows.push(Fig10Row {
             bench: kind,
             mcs_ed2p: mcs.ed2p,

@@ -5,7 +5,7 @@
 //! grAC histograms are decomposed per lock (RAYTR's 32 low-contention
 //! locks are aggregated as `RAYTR-LR`, as in the paper).
 
-use crate::exp::{run_bench, ExpOptions};
+use crate::exp::{try_run_bench, ExpOptions};
 use glocks_locks::LockAlgorithm;
 use glocks_sim::LockMapping;
 use glocks_sim_base::table::{pct, TextTable};
@@ -29,7 +29,7 @@ pub fn full_matrix(opts: &ExpOptions) -> TextTable {
     for kind in BenchKind::ALL {
         let bench = opts.bench(kind);
         let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
-        let r = run_bench(&bench, &mapping);
+        let Some(r) = try_run_bench(&bench, &mapping) else { continue };
         for (i, per_grac) in r.report.lcr.iter().enumerate() {
             // omit all-zero rows (silent low-contention locks)
             if per_grac.iter().sum::<f64>() < 1e-9 {
@@ -50,7 +50,7 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Fig7Row>) {
     for kind in BenchKind::ALL {
         let bench = opts.bench(kind);
         let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
-        let r = run_bench(&bench, &mapping);
+        let Some(r) = try_run_bench(&bench, &mapping) else { continue };
         let summaries = summarize(&r.report.lcr);
         if kind == BenchKind::Raytr {
             // The paper shows the two most contended locks and aggregates

@@ -2,7 +2,7 @@
 //! Busy / Memory / Lock / Barrier breakdown and the AvgM / AvgA summary
 //! bars.
 
-use crate::exp::{glock_mapping, mcs_mapping, run_bench, ExpOptions, RunResult};
+use crate::exp::{glock_mapping, mcs_mapping, try_run_bench, ExpOptions, RunResult};
 use glocks_sim_base::table::{norm, pct, stacked_bar, TextTable};
 use glocks_workloads::BenchKind;
 
@@ -30,8 +30,8 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Fig8Row>) {
     let mut rows = Vec::new();
     for kind in BenchKind::ALL {
         let bench = opts.bench(kind);
-        let mcs = run_bench(&bench, &mcs_mapping(&bench));
-        let gl = run_bench(&bench, &glock_mapping(&bench));
+        let Some(mcs) = try_run_bench(&bench, &mcs_mapping(&bench)) else { continue };
+        let Some(gl) = try_run_bench(&bench, &glock_mapping(&bench)) else { continue };
         rows.push(Fig8Row {
             bench: kind,
             mcs_cycles: mcs.report.cycles,

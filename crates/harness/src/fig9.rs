@@ -1,7 +1,7 @@
 //! Figure 9: normalized network traffic (Coherence / Request / Reply
 //! bytes through all switches), GLocks vs MCS.
 
-use crate::exp::{glock_mapping, mcs_mapping, run_bench, ExpOptions};
+use crate::exp::{glock_mapping, mcs_mapping, try_run_bench, ExpOptions};
 use glocks_sim::TrafficSnapshot;
 use glocks_sim_base::table::{bar, norm, pct, TextTable};
 use glocks_workloads::BenchKind;
@@ -40,8 +40,9 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Fig9Row>) {
     let mut rows = Vec::new();
     for kind in BenchKind::ALL {
         let bench = opts.bench(kind);
-        let mcs = run_bench(&bench, &mcs_mapping(&bench)).report.traffic;
-        let gl = run_bench(&bench, &glock_mapping(&bench)).report.traffic;
+        let Some(mcs) = try_run_bench(&bench, &mcs_mapping(&bench)) else { continue };
+        let Some(gl) = try_run_bench(&bench, &glock_mapping(&bench)) else { continue };
+        let (mcs, gl) = (mcs.report.traffic, gl.report.traffic);
         rows.push(Fig9Row {
             bench: kind,
             mcs,

@@ -26,7 +26,7 @@ fn run(mp: &MultiprogConfig, hc_algo: LockAlgorithm) -> SimReport {
         ..Default::default()
     };
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts);
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("multiprogramming run wedged");
     if let Err(e) = (inst.verify)(mem.store()) {
         panic!("multiprog under {}: {e}", hc_algo.name());
     }

@@ -2,7 +2,7 @@
 //! with the lock and highly-contended-lock counts *measured* from a run of
 //! each benchmark (the table is asserted, not just printed).
 
-use crate::exp::{run_bench, ExpOptions};
+use crate::exp::{try_run_bench, ExpOptions};
 use glocks_locks::LockAlgorithm;
 use glocks_sim::LockMapping;
 use glocks_sim_base::table::TextTable;
@@ -23,7 +23,7 @@ pub fn run(opts: &ExpOptions) -> TextTable {
         // The paper's post-mortem runs every lock as Simple Lock with the
         // test-and-test&set optimization.
         let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
-        let r = run_bench(&bench, &mapping);
+        let Some(r) = try_run_bench(&bench, &mapping) else { continue };
         // Footnote-3 criterion: substantial cycle weight and most mass at
         // grACs comparable to the core count.
         let hc_measured = classify_hc(&r.report.lcr, bench.threads / 4, 0.35, 0.02);

@@ -1,7 +1,7 @@
 //! Table IV: speedups for the real applications at 4/8/16/32 cores, under
 //! MCS and GLocks, relative to a single-core run.
 
-use crate::exp::{glock_mapping, mcs_mapping, run_bench, ExpOptions};
+use crate::exp::{glock_mapping, mcs_mapping, try_run_bench, ExpOptions};
 use glocks_sim_base::table::TextTable;
 use glocks_workloads::BenchKind;
 
@@ -19,15 +19,17 @@ pub fn run(opts: &ExpOptions) -> (TextTable, Vec<Table4Row>) {
         // Serial reference: one core (lock implementation is irrelevant
         // without contention; use the MCS configuration).
         let serial_bench = opts.bench_on(kind, 1);
-        let serial = run_bench(&serial_bench, &mcs_mapping(&serial_bench));
+        let Some(serial) = try_run_bench(&serial_bench, &mcs_mapping(&serial_bench)) else { continue };
         let t1 = serial.report.cycles as f64;
         for (version, use_gl) in [("MCS", false), ("GL", true)] {
             let mut speedups = Vec::new();
             for &cores in &CORE_COUNTS {
                 let bench = opts.bench_on(kind, cores);
                 let mapping = if use_gl { glock_mapping(&bench) } else { mcs_mapping(&bench) };
-                let r = run_bench(&bench, &mapping);
-                speedups.push(t1 / r.report.cycles as f64);
+                match try_run_bench(&bench, &mapping) {
+                    Some(r) => speedups.push(t1 / r.report.cycles as f64),
+                    None => speedups.push(f64::NAN),
+                }
             }
             rows.push(Table4Row { bench: kind, version, speedups });
         }

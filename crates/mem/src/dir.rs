@@ -17,6 +17,7 @@ use crate::events::EventQueue;
 use crate::msg::{CoherenceMsg, SysMsg};
 use crate::store::WordStore;
 use glocks_noc::{MeshNoc, Packet};
+use glocks_sim_base::fault::{FaultDecision, FaultInjector};
 use glocks_sim_base::stats::CounterSet;
 use glocks_sim_base::trace::TraceMask;
 use glocks_sim_base::{trace_event, CmpConfig, CoreId, Cycle, LineAddr, TileId};
@@ -124,6 +125,7 @@ pub struct Directory {
     mem_latency: u64,
     ctrl_bytes: u32,
     data_bytes: u32,
+    faults: Option<FaultInjector>,
 }
 
 impl Directory {
@@ -139,11 +141,29 @@ impl Directory {
             mem_latency: cfg.mem_latency,
             ctrl_bytes: cfg.noc.ctrl_msg_bytes,
             data_bytes: cfg.noc.data_msg_bytes,
+            faults: None,
         }
+    }
+
+    /// Stall completing replies according to a deterministic delay
+    /// schedule (only the `delay` component of the rates is meaningful for
+    /// a directory — it cannot "drop" its own transaction).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
     }
 
     pub fn counters(&self) -> &CounterSet {
         &self.counters
+    }
+
+    /// Lines with a transaction in flight (diagnostics input).
+    pub fn busy_lines(&self) -> usize {
+        self.entries.values().filter(|e| e.busy.is_some()).count()
+    }
+
+    /// Requests queued behind busy lines (diagnostics input).
+    pub fn queued_requests(&self) -> usize {
+        self.entries.values().map(|e| e.pending.len()).sum()
     }
 
     /// Directory-visible state of a line (tests/invariants).
@@ -466,6 +486,12 @@ impl Directory {
         put_ack_to: Option<CoreId>,
         at: Cycle,
     ) {
+        // Injected fault: the completing reply stalls for extra cycles
+        // (models a slow bank / flaky controller pipeline).
+        let at = match self.faults.as_mut().map(|f| f.decide()) {
+            Some(FaultDecision::Delay(extra)) => at + extra,
+            _ => at,
+        };
         let e = self.entry(line);
         e.busy.as_mut().expect("busy while finishing").phase = Phase::Completing;
         self.events.schedule(

@@ -41,4 +41,4 @@ pub mod store;
 pub mod subsystem;
 
 pub use msg::{CoherenceMsg, MemOp, MemResult, MpLockMsg, RmwKind, SysMsg};
-pub use subsystem::MemorySystem;
+pub use subsystem::{MemDiag, MemorySystem};

@@ -9,8 +9,27 @@ use crate::mplock::{MpFabric, MpManager, MANAGER_LATENCY, MAX_MP_LOCKS};
 use crate::msg::{MemOp, MemResult, MpLockMsg, SysMsg};
 use crate::store::WordStore;
 use glocks_noc::{MeshNoc, Packet, TrafficStats};
+use glocks_sim_base::fault::{FaultPlan, FaultSite};
 use glocks_sim_base::stats::CounterSet;
 use glocks_sim_base::{CmpConfig, CoreId, Cycle, LineAddr, TileId};
+
+/// A point-in-time picture of what the memory system is doing — part of
+/// the runner's diagnostic snapshot when a run wedges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemDiag {
+    /// Packets inside the fabric or delivery buffers.
+    pub noc_in_flight: usize,
+    /// Packets sitting in router input queues (congestion).
+    pub noc_queued: usize,
+    /// Packets lost to an injected fault schedule.
+    pub noc_dropped: u64,
+    /// L1s with an operation outstanding.
+    pub busy_l1s: usize,
+    /// Directory lines with a transaction in flight.
+    pub dir_busy_lines: usize,
+    /// Requests queued behind busy directory lines.
+    pub dir_queued_requests: usize,
+}
 
 /// The full memory hierarchy of the simulated CMP.
 pub struct MemorySystem {
@@ -167,6 +186,30 @@ impl MemorySystem {
     /// Network traffic statistics (Figure 9's raw material).
     pub fn traffic(&self) -> &TrafficStats {
         self.net.stats()
+    }
+
+    /// Wire the NoC and every directory into a fault plan's schedule.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.noc.is_active() {
+            self.net.set_faults(plan.injector(FaultSite::Noc, 0));
+        }
+        if plan.dir.is_active() {
+            for (t, dir) in self.dirs.iter_mut().enumerate() {
+                dir.set_faults(plan.injector(FaultSite::Dir, t as u64));
+            }
+        }
+    }
+
+    /// Snapshot of in-flight state for wedge diagnostics.
+    pub fn diag(&self) -> MemDiag {
+        MemDiag {
+            noc_in_flight: self.net.in_flight(),
+            noc_queued: self.net.queued_packets(),
+            noc_dropped: self.net.packets_dropped(),
+            busy_l1s: self.l1s.iter().filter(|l1| l1.busy()).count(),
+            dir_busy_lines: self.dirs.iter().map(Directory::busy_lines).sum(),
+            dir_queued_requests: self.dirs.iter().map(Directory::queued_requests).sum(),
+        }
     }
 
     /// Pre-install a line's home L2 entry (initialization-phase data).

@@ -4,6 +4,7 @@
 use crate::packet::Packet;
 use crate::router::{Queued, Router, N_PORTS, P_EAST, P_LOCAL, P_NORTH, P_SOUTH, P_WEST};
 use crate::traffic::TrafficStats;
+use glocks_sim_base::fault::{FaultDecision, FaultInjector};
 use glocks_sim_base::{config::NocConfig, Cycle, Mesh2D, TileId};
 use std::collections::VecDeque;
 
@@ -16,6 +17,8 @@ pub struct MeshNoc<T> {
     delivered: Vec<VecDeque<(Cycle, Packet<T>)>>,
     stats: TrafficStats,
     in_flight: usize,
+    faults: Option<FaultInjector>,
+    dropped: u64,
 }
 
 impl<T> MeshNoc<T> {
@@ -27,7 +30,28 @@ impl<T> MeshNoc<T> {
             delivered: (0..mesh.len()).map(|_| VecDeque::new()).collect(),
             stats: TrafficStats::default(),
             in_flight: 0,
+            faults: None,
+            dropped: 0,
         }
+    }
+
+    /// Subject fabric-crossing packets to a deterministic drop/delay
+    /// schedule. The coherence protocol has no retransmission layer, so a
+    /// dropped packet usually wedges its transaction — the runner's
+    /// watchdog turns that into a diagnosable `SimError`. Duplication is
+    /// not meaningful for coherence messages and must not be requested.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        assert_eq!(
+            faults.rates().duplicate_ppm,
+            0,
+            "NoC fault plans cannot duplicate packets"
+        );
+        self.faults = Some(faults);
+    }
+
+    /// Packets lost to the fault schedule.
+    pub fn packets_dropped(&self) -> u64 {
+        self.dropped
     }
 
     pub fn mesh(&self) -> Mesh2D {
@@ -54,6 +78,24 @@ impl<T> MeshNoc<T> {
     /// local L2-slice access does not use the network) and is delivered
     /// after the router-pipeline latency with no byte accounting.
     pub fn inject(&mut self, pkt: Packet<T>, now: Cycle) {
+        // Local bypasses never touch the wires, so only fabric-crossing
+        // packets are subject to the fault schedule.
+        let mut extra = 0;
+        if pkt.src != pkt.dst {
+            if let Some(f) = self.faults.as_mut() {
+                match f.decide() {
+                    FaultDecision::Deliver => {}
+                    FaultDecision::Drop => {
+                        self.dropped += 1;
+                        return;
+                    }
+                    FaultDecision::Delay(d) => extra = d,
+                    FaultDecision::Duplicate => {
+                        unreachable!("duplication is rejected for NoC fault plans")
+                    }
+                }
+            }
+        }
         self.in_flight += 1;
         self.stats.on_inject(pkt.class);
         if pkt.src == pkt.dst {
@@ -61,7 +103,7 @@ impl<T> MeshNoc<T> {
             self.delivered[pkt.dst.index()].push_back((at, pkt));
             return;
         }
-        let ready = now + self.cfg.router_latency;
+        let ready = now + self.cfg.router_latency + extra;
         self.routers[pkt.src.index()].in_q[P_LOCAL].push_back(Queued { pkt, ready_at: ready });
     }
 
@@ -274,6 +316,39 @@ mod tests {
         tags.sort_unstable();
         assert_eq!(tags, (1..16).collect::<Vec<_>>());
         assert!(n.is_idle());
+    }
+
+    #[test]
+    fn dropped_packets_vanish_and_are_counted() {
+        use glocks_sim_base::{FaultPlan, FaultRates, FaultSite};
+        let mut n = noc();
+        let mut plan = FaultPlan::seeded(5);
+        plan.noc = FaultRates::drops(1_000_000);
+        n.set_faults(plan.injector(FaultSite::Noc, 0));
+        n.inject(pkt(0, 15, 8, 1), 0);
+        assert_eq!(n.in_flight(), 0, "dropped at injection");
+        assert_eq!(n.packets_dropped(), 1);
+        assert!(n.is_idle());
+        // Local bypasses are immune: they never cross a link.
+        n.inject(pkt(5, 5, 8, 2), 0);
+        assert_eq!(n.in_flight(), 1);
+    }
+
+    #[test]
+    fn delayed_packets_arrive_late_but_intact() {
+        use glocks_sim_base::{FaultPlan, FaultRates, FaultSite};
+        let mut fast = noc();
+        let mut slow = noc();
+        let mut plan = FaultPlan::seeded(6);
+        plan.noc = FaultRates::delays(1_000_000, 40);
+        slow.set_faults(plan.injector(FaultSite::Noc, 0));
+        fast.inject(pkt(0, 15, 8, 7), 0);
+        slow.inject(pkt(0, 15, 8, 7), 0);
+        let (at_fast, _) = run_until(&mut fast, TileId(15), 1);
+        let (at_slow, got) = run_until(&mut slow, TileId(15), 1);
+        assert_eq!(got[0].payload, 7);
+        assert!(at_slow > at_fast, "delay fault must add latency");
+        assert!(at_slow <= at_fast + 40);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Deterministic fault injection.
+//!
+//! The paper's protocol assumes perfectly reliable G-lines and a never-stuck
+//! memory system. To exercise the hardened protocol (epoch-tagged tokens,
+//! retransmission) and the runner watchdog, a [`FaultPlan`] describes a
+//! reproducible schedule of injected faults: dropped / delayed / duplicated
+//! G-line signals, dropped / delayed NoC packets, and stalled directory
+//! responses.
+//!
+//! Determinism is the whole point: the decision for event `i` at a given
+//! site is a pure function of `(plan seed, site, stream, i)` — a SplitMix64
+//! hash — so a fault schedule replays bit-identically regardless of how the
+//! simulator interleaves its component ticks, and a failing configuration
+//! can be handed around as `(seed, rates)`.
+
+use crate::rng::SplitMix64;
+
+/// Event-granular fault probabilities for one injection site, expressed in
+/// parts-per-million so plans are exact integers (no float drift between
+/// platforms).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Probability (ppm) that an event is silently dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that an event is delayed by `1..=max_delay` extra
+    /// cycles.
+    pub delay_ppm: u32,
+    /// Upper bound on the extra delay; ignored when `delay_ppm == 0`.
+    pub max_delay: u64,
+    /// Probability (ppm) that an event is delivered twice.
+    pub duplicate_ppm: u32,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const NONE: FaultRates = FaultRates {
+        drop_ppm: 0,
+        delay_ppm: 0,
+        max_delay: 0,
+        duplicate_ppm: 0,
+    };
+
+    /// Drop-only rates.
+    pub fn drops(drop_ppm: u32) -> Self {
+        FaultRates { drop_ppm, ..Self::NONE }
+    }
+
+    /// Delay-only rates.
+    pub fn delays(delay_ppm: u32, max_delay: u64) -> Self {
+        FaultRates { delay_ppm, max_delay, ..Self::NONE }
+    }
+
+    /// Duplicate-only rates.
+    pub fn duplicates(duplicate_ppm: u32) -> Self {
+        FaultRates { duplicate_ppm, ..Self::NONE }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.drop_ppm > 0 || self.delay_ppm > 0 || self.duplicate_ppm > 0
+    }
+
+    fn validate(&self, site: &str) {
+        let total = u64::from(self.drop_ppm)
+            + u64::from(self.delay_ppm)
+            + u64::from(self.duplicate_ppm);
+        assert!(total <= 1_000_000, "{site} fault rates exceed 100% ({total} ppm)");
+        assert!(
+            self.delay_ppm == 0 || self.max_delay >= 1,
+            "{site} delay faults need max_delay >= 1"
+        );
+    }
+}
+
+/// Where faults are injected. Each site draws from an independent hash
+/// stream, so enabling one site never perturbs another's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// 1-bit G-line signal transmissions (REQ / TOKEN / REL).
+    Gline,
+    /// NoC packet injections.
+    Noc,
+    /// Directory response scheduling (delay only — a directory cannot
+    /// "drop" its own transaction, it can only stall it).
+    Dir,
+}
+
+impl FaultSite {
+    fn tag(self) -> u64 {
+        match self {
+            FaultSite::Gline => 0x474C_494E_45,
+            FaultSite::Noc => 0x4E4F_43,
+            FaultSite::Dir => 0x444952,
+        }
+    }
+}
+
+/// The verdict for one event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the event.
+    Drop,
+    /// Deliver `extra` cycles late.
+    Delay(u64),
+    /// Deliver twice.
+    Duplicate,
+}
+
+/// A complete, seeded fault schedule for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every injection site derives its stream from it.
+    pub seed: u64,
+    /// G-line signal faults (applied per lock network).
+    pub gline: FaultRates,
+    /// NoC packet faults.
+    pub noc: FaultRates,
+    /// Directory response stalls (only `delay_ppm`/`max_delay` are used).
+    pub dir: FaultRates,
+}
+
+impl FaultPlan {
+    /// An all-quiet plan with the given seed; set rates on the fields.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::default() }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.gline.is_active() || self.noc.is_active() || self.dir.is_active()
+    }
+
+    /// Build the injector for one component instance. `stream`
+    /// distinguishes same-site instances (lock index, directory tile, ...).
+    pub fn injector(&self, site: FaultSite, stream: u64) -> FaultInjector {
+        let rates = match site {
+            FaultSite::Gline => self.gline,
+            FaultSite::Noc => self.noc,
+            FaultSite::Dir => self.dir,
+        };
+        FaultInjector::new(self.seed, site, stream, rates)
+    }
+}
+
+/// Running totals of injected faults (reported in diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Events the injector ruled on.
+    pub decided: u64,
+    pub dropped: u64,
+    pub delayed: u64,
+    pub duplicated: u64,
+}
+
+impl FaultStats {
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.delayed + self.duplicated
+    }
+}
+
+/// The per-component decision maker. Holds only a monotone event counter —
+/// each verdict is re-derived from `(seed, site, stream, index)`, so
+/// cloning or re-creating an injector at the same index replays the exact
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    site: FaultSite,
+    stream: u64,
+    rates: FaultRates,
+    next_event: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64, site: FaultSite, stream: u64, rates: FaultRates) -> Self {
+        rates.validate(match site {
+            FaultSite::Gline => "gline",
+            FaultSite::Noc => "noc",
+            FaultSite::Dir => "dir",
+        });
+        FaultInjector { seed, site, stream, rates, next_event: 0, stats: FaultStats::default() }
+    }
+
+    /// An injector that always delivers (handy as a no-op default).
+    pub fn inactive() -> Self {
+        FaultInjector::new(0, FaultSite::Gline, 0, FaultRates::NONE)
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.rates.is_active()
+    }
+
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Rule on the next event at this site.
+    pub fn decide(&mut self) -> FaultDecision {
+        let idx = self.next_event;
+        self.next_event += 1;
+        if !self.rates.is_active() {
+            return FaultDecision::Deliver;
+        }
+        self.stats.decided += 1;
+        // Independent stream per (seed, site, stream); one SplitMix64 step
+        // per event keeps the draw stateless in everything but the index.
+        let mut rng = SplitMix64::new(
+            self.seed
+                ^ self.site.tag().rotate_left(17)
+                ^ self.stream.wrapping_mul(0xD605_0B66_4B8B_6E85)
+                ^ idx.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        let p = rng.next_below(1_000_000) as u32;
+        let drop_end = self.rates.drop_ppm;
+        let dup_end = drop_end + self.rates.duplicate_ppm;
+        let delay_end = dup_end + self.rates.delay_ppm;
+        if p < drop_end {
+            self.stats.dropped += 1;
+            FaultDecision::Drop
+        } else if p < dup_end {
+            self.stats.duplicated += 1;
+            FaultDecision::Duplicate
+        } else if p < delay_end {
+            self.stats.delayed += 1;
+            FaultDecision::Delay(1 + rng.next_below(self.rates.max_delay))
+        } else {
+            FaultDecision::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(drop: u32, dup: u32, delay: u32) -> FaultPlan {
+        let mut p = FaultPlan::seeded(42);
+        p.gline = FaultRates { drop_ppm: drop, duplicate_ppm: dup, delay_ppm: delay, max_delay: 8 };
+        p
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_stream_independent() {
+        let p = plan(100_000, 50_000, 50_000);
+        let mut a = p.injector(FaultSite::Gline, 3);
+        let mut b = p.injector(FaultSite::Gline, 3);
+        let mut other = p.injector(FaultSite::Gline, 4);
+        let seq_a: Vec<_> = (0..500).map(|_| a.decide()).collect();
+        let seq_b: Vec<_> = (0..500).map(|_| b.decide()).collect();
+        assert_eq!(seq_a, seq_b, "same (seed, site, stream) must replay");
+        let seq_o: Vec<_> = (0..500).map(|_| other.decide()).collect();
+        assert_ne!(seq_a, seq_o, "streams must be independent");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let p = plan(200_000, 0, 0); // 20% drop
+        let mut inj = p.injector(FaultSite::Gline, 0);
+        let n = 20_000;
+        let dropped = (0..n).filter(|_| inj.decide() == FaultDecision::Drop).count();
+        let frac = dropped as f64 / n as f64;
+        assert!((0.17..0.23).contains(&frac), "drop fraction {frac} far from 20%");
+        assert_eq!(inj.stats().dropped, dropped as u64);
+    }
+
+    #[test]
+    fn inactive_injector_always_delivers() {
+        let mut inj = FaultInjector::inactive();
+        assert!(!inj.is_active());
+        for _ in 0..100 {
+            assert_eq!(inj.decide(), FaultDecision::Deliver);
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let p = plan(0, 0, 1_000_000); // always delay
+        let mut inj = p.injector(FaultSite::Gline, 0);
+        for _ in 0..1000 {
+            match inj.decide() {
+                FaultDecision::Delay(d) => assert!((1..=8).contains(&d)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates exceed 100%")]
+    fn overfull_rates_are_rejected() {
+        let p = plan(900_000, 200_000, 0);
+        let _ = p.injector(FaultSite::Gline, 0);
+    }
+
+    #[test]
+    fn full_drop_is_expressible() {
+        let p = plan(1_000_000, 0, 0);
+        let mut inj = p.injector(FaultSite::Gline, 0);
+        for _ in 0..100 {
+            assert_eq!(inj.decide(), FaultDecision::Drop);
+        }
+    }
+}

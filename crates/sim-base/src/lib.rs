@@ -8,6 +8,7 @@
 //! table rendering used by the experiment harness ([`table`]).
 
 pub mod config;
+pub mod fault;
 pub mod geom;
 pub mod ids;
 pub mod rng;
@@ -16,6 +17,7 @@ pub mod table;
 pub mod trace;
 
 pub use config::{CacheConfig, CmpConfig, GlockConfig, NocConfig};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultRates, FaultSite, FaultStats};
 pub use geom::{Coord, Mesh2D};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, LockId, ThreadId, TileId};
 pub use rng::SplitMix64;

@@ -1,0 +1,195 @@
+//! Structured failure reporting for wedged or misbehaving runs.
+//!
+//! Under fault injection a configuration can legitimately fail to finish
+//! (e.g. a schedule that drops 100% of TOKEN signals). Instead of an
+//! `assert!` that aborts the whole experiment sweep, the runner returns a
+//! [`SimError`] carrying a [`DiagnosticSnapshot`]: what every core was
+//! doing, who held which lock, and what the memory system had in flight at
+//! the moment the watchdog fired. A sweep harness logs the error and moves
+//! on to the next configuration.
+
+use glocks::GlockStats;
+use glocks_cpu::CoreActivity;
+use glocks_mem::MemDiag;
+use glocks_sim_base::{CoreId, Cycle, LockId, ThreadId};
+use std::fmt;
+
+/// One core's contribution to the wedge picture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreDiag {
+    pub id: CoreId,
+    /// What the core was doing when the run was declared dead.
+    pub activity: CoreActivity,
+    /// Workload-level progress events it had made by then.
+    pub progress_events: u64,
+}
+
+/// One workload lock's state from the [`glocks_cpu::LockTracker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockDiag {
+    pub lock: LockId,
+    /// Thread inside the critical section, if any.
+    pub holder: Option<ThreadId>,
+    /// Successful acquires so far.
+    pub acquires: u64,
+}
+
+/// One hardware GLock network's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlockDiag {
+    /// Index into the simulation's GLock networks.
+    pub index: usize,
+    /// Core whose leaf controller holds the token.
+    pub holder: Option<CoreId>,
+    /// Leaf controllers waiting for the token.
+    pub waiting: usize,
+    pub stats: GlockStats,
+}
+
+/// Everything the runner knows at the moment it gives up on a run.
+#[derive(Clone, Debug)]
+pub struct DiagnosticSnapshot {
+    /// Cycle at which the run was declared dead.
+    pub cycle: Cycle,
+    pub cores: Vec<CoreDiag>,
+    pub locks: Vec<LockDiag>,
+    pub glocks: Vec<GlockDiag>,
+    pub mem: MemDiag,
+}
+
+impl fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state at cycle {}:", self.cycle)?;
+        let finished = self
+            .cores
+            .iter()
+            .filter(|c| c.activity == CoreActivity::Finished)
+            .count();
+        writeln!(f, "  cores ({} of {} finished):", finished, self.cores.len())?;
+        for c in &self.cores {
+            if c.activity == CoreActivity::Finished {
+                continue;
+            }
+            writeln!(
+                f,
+                "    core {}: {:?}, {} progress events",
+                c.id, c.activity, c.progress_events
+            )?;
+        }
+        for l in &self.locks {
+            writeln!(
+                f,
+                "  lock {}: holder {}, {} acquires",
+                l.lock,
+                match l.holder {
+                    Some(t) => format!("thread {t}"),
+                    None => "none".into(),
+                },
+                l.acquires
+            )?;
+        }
+        for g in &self.glocks {
+            writeln!(
+                f,
+                "  glock net {}: token at {}, {} waiting, {} grants, {} signals \
+                 ({} dropped, {} retransmits)",
+                g.index,
+                match g.holder {
+                    Some(c) => format!("core {c}"),
+                    None => "manager".into(),
+                },
+                g.waiting,
+                g.stats.grants,
+                g.stats.signals,
+                g.stats.dropped,
+                g.stats.retransmits
+            )?;
+        }
+        write!(
+            f,
+            "  mem: {} noc in flight ({} queued, {} dropped), {} busy L1s, \
+             {} busy dir lines, {} queued dir requests",
+            self.mem.noc_in_flight,
+            self.mem.noc_queued,
+            self.mem.noc_dropped,
+            self.mem.busy_l1s,
+            self.mem.dir_busy_lines,
+            self.mem.dir_queued_requests
+        )
+    }
+}
+
+/// Why a run did not produce a report.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// No core made workload-level progress for a full watchdog window.
+    NoForwardProgress {
+        /// The watchdog window that elapsed without progress.
+        window: u64,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// The run passed `SimulationOptions::max_cycles`.
+    MaxCyclesExceeded {
+        limit: u64,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// The post-run drain never reached quiescence.
+    DrainStalled {
+        /// Drain cycles waited before giving up.
+        waited: u64,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// All threads finished but lock state leaked (a held lock or a leaked
+    /// dynamic GLock binding) — a protocol bug, not a liveness problem.
+    ResidualLockState {
+        detail: String,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+}
+
+impl SimError {
+    /// The captured state, whatever the failure mode.
+    pub fn snapshot(&self) -> &DiagnosticSnapshot {
+        match self {
+            SimError::NoForwardProgress { snapshot, .. }
+            | SimError::MaxCyclesExceeded { snapshot, .. }
+            | SimError::DrainStalled { snapshot, .. }
+            | SimError::ResidualLockState { snapshot, .. } => snapshot,
+        }
+    }
+
+    /// Short machine-friendly tag for sweep logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::NoForwardProgress { .. } => "no-forward-progress",
+            SimError::MaxCyclesExceeded { .. } => "max-cycles-exceeded",
+            SimError::DrainStalled { .. } => "drain-stalled",
+            SimError::ResidualLockState { .. } => "residual-lock-state",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoForwardProgress { window, snapshot } => {
+                writeln!(f, "no forward progress for {window} cycles")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::MaxCyclesExceeded { limit, snapshot } => {
+                writeln!(f, "simulation exceeded {limit} cycles")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::DrainStalled { waited, snapshot } => {
+                writeln!(f, "memory system failed to drain after {waited} cycles")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::ResidualLockState { detail, snapshot } => {
+                writeln!(f, "residual lock state after completion: {detail}")?;
+                write!(f, "{snapshot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

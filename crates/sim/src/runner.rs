@@ -1,9 +1,11 @@
 //! The cycle loop tying all subsystems together.
 
+use crate::error::{CoreDiag, DiagnosticSnapshot, GlockDiag, LockDiag, SimError};
 use crate::mapping::LockMapping;
 use crate::report::{SimReport, TrafficSnapshot};
 use glocks::{GBarrierNetwork, GlockNetwork, GlockPool, Topology};
 use glocks_cpu::{Backends, BarrierBackend, Core, LockBackend, LockTracker, Script, Workload};
+use glocks_sim_base::fault::{FaultPlan, FaultSite};
 use glocks_sim_base::ThreadId;
 use glocks_energy::{EnergyInputs, EnergyModel};
 use glocks_locks::barrier::TreeBarrier;
@@ -74,6 +76,15 @@ pub struct SimulationOptions {
     /// of the software combining tree. Incompatible with
     /// `barrier_partitions`.
     pub hardware_barrier: bool,
+    /// Seeded fault schedule injected into G-lines, the NoC, and the
+    /// directories. `None` = a perfectly reliable machine (the paper's
+    /// assumption).
+    pub fault_plan: Option<FaultPlan>,
+    /// Declare the run wedged if no core makes workload-level progress for
+    /// this many consecutive cycles (0 = watchdog off). Spin loops do not
+    /// count as progress, so a lost-token livelock trips this long before
+    /// `max_cycles`.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for SimulationOptions {
@@ -85,6 +96,8 @@ impl Default for SimulationOptions {
             force_hierarchical_glocks: false,
             barrier_partitions: None,
             hardware_barrier: false,
+            fault_plan: None,
+            watchdog_cycles: 2_000_000,
         }
     }
 }
@@ -151,9 +164,17 @@ impl Simulation {
             Topology::flat(mesh)
         };
         let n_nets = if dynamic { cfg.glocks.num_hw_locks } else { glock_ids.len() };
-        let glock_nets: Vec<GlockNetwork> = (0..n_nets)
+        let mut glock_nets: Vec<GlockNetwork> = (0..n_nets)
             .map(|_| GlockNetwork::new(&topo, cfg.glocks.gline_latency))
             .collect();
+        if let Some(plan) = &options.fault_plan {
+            mem.apply_fault_plan(plan);
+            if plan.gline.is_active() {
+                for (k, net) in glock_nets.iter_mut().enumerate() {
+                    net.set_faults(plan.injector(FaultSite::Gline, k as u64));
+                }
+            }
+        }
         let pool = dynamic
             .then(|| GlockPool::new(glock_nets.iter().map(|n| n.regs()).collect()));
         // Lock backends in LockId order.
@@ -222,24 +243,76 @@ impl Simulation {
         }
     }
 
-    /// Run the parallel phase to completion and produce the report.
-    pub fn run(mut self) -> (SimReport, MemorySystem) {
+    /// Advance every non-core device (memory system, GLock networks,
+    /// hardware barrier) by the current cycle — shared between the main
+    /// loop and the post-run drain.
+    fn tick_devices(&mut self) {
+        self.mem.tick(self.now);
+        for net in &mut self.glock_nets {
+            net.tick(self.now);
+        }
+        if let Some(b) = self.gbarrier.as_mut() {
+            b.tick(self.now);
+        }
+    }
+
+    /// Capture the full diagnostic picture for a [`SimError`].
+    fn snapshot(&self) -> Box<DiagnosticSnapshot> {
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| CoreDiag {
+                id: c.id(),
+                activity: c.activity(),
+                progress_events: c.progress_events(),
+            })
+            .collect();
+        let locks = (0..self.tracker.n_locks())
+            .map(|i| {
+                let l = LockId(i as u16);
+                LockDiag {
+                    lock: l,
+                    holder: self.tracker.holder(l),
+                    acquires: self.tracker.acquires(l),
+                }
+            })
+            .collect();
+        let glocks = self
+            .glock_nets
+            .iter()
+            .enumerate()
+            .map(|(index, net)| GlockDiag {
+                index,
+                holder: net.holder(),
+                waiting: net.n_waiting(),
+                stats: net.stats(),
+            })
+            .collect();
+        Box::new(DiagnosticSnapshot {
+            cycle: self.now,
+            cores,
+            locks,
+            glocks,
+            mem: self.mem.diag(),
+        })
+    }
+
+    /// Run the parallel phase to completion and produce the report, or a
+    /// structured error with a diagnostic snapshot if the run wedges.
+    pub fn run(mut self) -> Result<(SimReport, MemorySystem), SimError> {
+        let mut last_progress = (0u64, 0 as Cycle); // (event sum, cycle seen)
         let finish_at = loop {
             let mut all_done = true;
+            let mut progress_sum = 0u64;
             {
                 let backends = Backends { locks: &self.locks, barrier: self.barrier.as_ref() };
                 for core in &mut self.cores {
                     core.tick(self.now, &mut self.mem, &backends, &mut self.tracker);
                     all_done &= core.is_finished();
+                    progress_sum += core.progress_events();
                 }
             }
-            self.mem.tick(self.now);
-            for net in &mut self.glock_nets {
-                net.tick(self.now);
-            }
-            if let Some(b) = self.gbarrier.as_mut() {
-                b.tick(self.now);
-            }
+            self.tick_devices();
             self.tracker.sample();
             if self.options.check_invariants_every > 0
                 && self.now.is_multiple_of(self.options.check_invariants_every)
@@ -252,30 +325,48 @@ impl Simulation {
             if all_done {
                 break self.now;
             }
+            if progress_sum > last_progress.0 {
+                last_progress = (progress_sum, self.now);
+            } else if self.options.watchdog_cycles > 0
+                && self.now - last_progress.1 >= self.options.watchdog_cycles
+            {
+                return Err(SimError::NoForwardProgress {
+                    window: self.options.watchdog_cycles,
+                    snapshot: self.snapshot(),
+                });
+            }
             self.now += 1;
-            assert!(
-                self.now < self.options.max_cycles,
-                "simulation exceeded {} cycles",
-                self.options.max_cycles
-            );
+            if self.now >= self.options.max_cycles {
+                return Err(SimError::MaxCyclesExceeded {
+                    limit: self.options.max_cycles,
+                    snapshot: self.snapshot(),
+                });
+            }
         };
         // Drain in-flight writebacks so the traffic/energy totals settle.
+        const DRAIN_CAP: u64 = 1_000_000;
         let mut drain = 0;
-        while !self.mem.is_quiescent() && drain < 1_000_000 {
+        while !self.mem.is_quiescent() && drain < DRAIN_CAP {
             self.now += 1;
             drain += 1;
-            self.mem.tick(self.now);
-            for net in &mut self.glock_nets {
-                net.tick(self.now);
-            }
-            if let Some(b) = self.gbarrier.as_mut() {
-                b.tick(self.now);
-            }
+            self.tick_devices();
         }
-        assert!(self.mem.is_quiescent(), "memory system failed to drain");
-        assert!(self.tracker.all_quiet(), "locks still held after the run");
+        if !self.mem.is_quiescent() {
+            return Err(SimError::DrainStalled { waited: drain, snapshot: self.snapshot() });
+        }
+        if !self.tracker.all_quiet() {
+            return Err(SimError::ResidualLockState {
+                detail: "locks still held after the run".into(),
+                snapshot: self.snapshot(),
+            });
+        }
         if let Some(p) = &self.pool {
-            assert!(p.is_quiescent(), "dynamic GLock bindings leaked");
+            if !p.is_quiescent() {
+                return Err(SimError::ResidualLockState {
+                    detail: "dynamic GLock bindings leaked".into(),
+                    snapshot: self.snapshot(),
+                });
+            }
         }
 
         let n_locks = self.tracker.n_locks();
@@ -328,7 +419,7 @@ impl Simulation {
             finished_at: finished_at_vec,
             pool: self.pool.as_ref().map(|p| p.stats()),
         };
-        (report, self.mem)
+        Ok((report, self.mem))
     }
 }
 
@@ -392,7 +483,15 @@ mod tests {
         let mapping = LockMapping::uniform(algo, 1);
         let opts = SimulationOptions { check_invariants_every: 5000, ..Default::default() };
         let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, iters), &[], opts);
-        sim.run()
+        sim.run().expect("fault-free run must complete")
+    }
+
+    fn run_partitioned(partitions: Option<Vec<usize>>, cores: usize, iters: u64) -> (SimReport, MemorySystem) {
+        let cfg = CmpConfig::paper_baseline().with_cores(cores);
+        let mapping = LockMapping::uniform(LockAlgorithm::Mcs, 1);
+        let opts = SimulationOptions { barrier_partitions: partitions, ..Default::default() };
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, iters), &[], opts);
+        sim.run().expect("fault-free run must complete")
     }
 
     #[test]
@@ -442,8 +541,34 @@ mod tests {
             &init,
             SimulationOptions::default(),
         );
-        let (_, mem) = sim.run();
+        let (_, mem) = sim.run().expect("fault-free run must complete");
         assert_eq!(mem.store().load(Addr(0x200_0000)), 104);
+    }
+
+    #[test]
+    fn single_partition_behaves_like_global_barrier() {
+        let (global, gmem) = run_partitioned(None, 8, 2);
+        let (single, smem) = run_partitioned(Some(vec![8]), 8, 2);
+        assert_eq!(gmem.store().load(Addr(0x200_0000)), 16);
+        assert_eq!(smem.store().load(Addr(0x200_0000)), 16);
+        assert_eq!(
+            global.cycles, single.cycles,
+            "one partition covering every core is exactly the global barrier"
+        );
+    }
+
+    #[test]
+    fn uneven_partitions_complete_correctly() {
+        // Groups of 3 and 5 share the lock but synchronize independently.
+        let (report, mem) = run_partitioned(Some(vec![3, 5]), 8, 3);
+        assert_eq!(mem.store().load(Addr(0x200_0000)), 24);
+        assert_eq!(report.acquires[0], 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions must cover all cores")]
+    fn non_covering_partitions_rejected() {
+        let _ = run_partitioned(Some(vec![3, 3]), 8, 1);
     }
 
     #[test]

@@ -120,7 +120,7 @@ mod tests {
             .map(|_| Box::new(Tiny { left: 2, phase: 0 }) as Box<dyn Workload>)
             .collect();
         let sim = Simulation::new(&cfg, &mapping, workloads, &[], SimulationOptions::default());
-        let (report, _) = sim.run();
+        let (report, _) = sim.run().expect("simulation wedged");
         let s = render(&report);
         assert!(s.contains("parallel phase"));
         assert!(s.contains("time breakdown"));

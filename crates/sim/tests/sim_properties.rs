@@ -75,7 +75,7 @@ fn run_once(
         .map(|ops| Box::new(RandomProgram { ops: ops.clone(), i: 0 }) as Box<dyn Workload>)
         .collect();
     let sim = Simulation::new(&cfg, &mapping, workloads, &[], SimulationOptions::default());
-    let (report, _mem) = sim.run();
+    let (report, _mem) = sim.run().expect("simulation wedged");
     (report.cycles, report.instructions())
 }
 

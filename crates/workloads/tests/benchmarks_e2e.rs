@@ -14,7 +14,7 @@ fn run(kind: BenchKind, threads: usize, mapping_of: impl Fn(&BenchConfig) -> Loc
     let mapping = mapping_of(&bench);
     let opts = SimulationOptions { check_invariants_every: 20_000, ..Default::default() };
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts);
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     if let Err(e) = (inst.verify)(mem.store()) {
         panic!("{kind:?} under {} failed verification: {e}", mapping.label());
     }

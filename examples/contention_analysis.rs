@@ -19,7 +19,7 @@ fn main() {
     // The paper measures contention with every lock as TATAS.
     let mapping = LockMapping::uniform(LockAlgorithm::Tatas, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("verify");
 
     let mut t = TextTable::new(format!(

@@ -13,7 +13,7 @@ fn run(mapping: &LockMapping, bench: &BenchConfig) -> SimReport {
     let inst = bench.build();
     let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
     let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("verify");
     report
 }

@@ -46,7 +46,7 @@ fn main() {
             let mapping = LockMapping::uniform(algo, bench.n_locks());
             let sim =
                 Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-            let (report, mem) = sim.run();
+            let (report, mem) = sim.run().expect("simulation wedged");
             (inst.verify)(mem.store()).expect("verify");
             row.push(report.cycles.to_string());
         }

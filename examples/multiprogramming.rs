@@ -20,7 +20,7 @@ fn run(mp: &MultiprogConfig, algo: LockAlgorithm) -> SimReport {
         ..Default::default()
     };
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts);
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("both programs must verify");
     report
 }

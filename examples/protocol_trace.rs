@@ -25,7 +25,7 @@ fn main() {
         4000,
     );
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("verify");
     let records = trace::drain();
     trace::disable();

@@ -20,7 +20,7 @@ fn run(algo: LockAlgorithm, threads: usize) -> SimReport {
 
     // 3. Run the parallel phase to completion.
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
 
     // 4. Every benchmark carries its own correctness verifier.
     (inst.verify)(mem.store()).expect("benchmark must verify");

@@ -14,7 +14,7 @@ fn run(threads: usize, algo: LockAlgorithm) -> Cycle {
     let cfg = CmpConfig::paper_baseline().with_cores(threads);
     let mapping = LockMapping::hybrid(&bench.hc_locks(), algo, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("verify");
     report.cycles
 }

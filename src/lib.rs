@@ -26,7 +26,7 @@
 //! let cfg = CmpConfig::paper_baseline().with_cores(8);
 //! let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks());
 //! let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-//! let (report, mem) = sim.run();
+//! let (report, mem) = sim.run().expect("simulation wedged");
 //! assert!((inst.verify)(mem.store()).is_ok());
 //! assert!(report.cycles > 0);
 //! ```

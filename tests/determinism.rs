@@ -9,7 +9,7 @@ fn run_once(kind: BenchKind, algo: LockAlgorithm, threads: usize) -> (Cycle, u64
     let cfg = CmpConfig::paper_baseline().with_cores(threads);
     let mapping = LockMapping::hybrid(&bench.hc_locks(), algo, bench.n_locks());
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     (inst.verify)(mem.store()).expect("verify");
     (
         report.cycles,
@@ -38,7 +38,7 @@ fn different_seeds_change_app_kernels() {
         let cfg = CmpConfig::paper_baseline().with_cores(8);
         let mapping = LockMapping::hybrid(&b.hc_locks(), LockAlgorithm::Mcs, b.n_locks());
         let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, Default::default());
-        let (report, mem) = sim.run();
+        let (report, mem) = sim.run().expect("simulation wedged");
         (inst.verify)(mem.store()).expect("verify");
         report.cycles
     };

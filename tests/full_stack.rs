@@ -12,7 +12,7 @@ fn run(
     let inst = bench.build();
     let cfg = CmpConfig::paper_baseline().with_cores(threads);
     let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, opts);
-    let (report, mem) = sim.run();
+    let (report, mem) = sim.run().expect("simulation wedged");
     let v = (inst.verify)(mem.store());
     (report, v)
 }
