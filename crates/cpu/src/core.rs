@@ -109,6 +109,28 @@ impl Core {
         &self.breakdown
     }
 
+    /// Publish this core's end-of-run stall breakdown into the stats
+    /// registry under `cpu.core{N}.*` (no-op when stats are off).
+    pub fn publish_stats(&self) {
+        if !glocks_stats::is_enabled() {
+            return;
+        }
+        let n = self.id.0;
+        let b = &self.breakdown;
+        for (field, v) in [
+            ("busy_cycles", b.busy),
+            ("memory_cycles", b.memory),
+            ("lock_cycles", b.lock),
+            ("barrier_cycles", b.barrier),
+            ("instructions", b.instructions),
+        ] {
+            glocks_stats::set(glocks_stats::counter(&format!("cpu.core{n}.{field}")), v);
+        }
+        if let Some(at) = self.finished_at {
+            glocks_stats::set(glocks_stats::counter(&format!("cpu.core{n}.finished_at")), at);
+        }
+    }
+
     /// Monotone count of workload-level progress: top-level actions pulled
     /// and lock/barrier sub-scripts completed. A core livelocked in a spin
     /// loop retires instructions but never bumps this, which is exactly

@@ -9,6 +9,7 @@
 
 use glocks_sim_base::stats::Histogram;
 use glocks_sim_base::{Cycle, LockId, ThreadId};
+use glocks_stats as gstats;
 
 /// Per-lock live state and accumulated statistics.
 #[derive(Clone, Debug)]
@@ -26,6 +27,17 @@ struct LockState {
     wait_cycles: u64,
     /// Request timestamps of in-flight acquires.
     since: Vec<(ThreadId, Cycle)>,
+    /// Grant cycle of the current holder (critical-section hold time).
+    held_since: Option<Cycle>,
+    /// Cycle of the most recent release (owner-to-owner handoff latency).
+    last_release: Option<Cycle>,
+    /// Latency distributions, recorded live because they cannot be
+    /// reconstructed from end-of-run totals. All three are `NONE` (free)
+    /// when stats are off. The tracker sits above every lock backend, so
+    /// GLock, MCS and TATAS get identical distribution coverage.
+    wait_hist: gstats::HistId,
+    hold_hist: gstats::HistId,
+    handoff_hist: gstats::HistId,
 }
 
 const GRANT_LOG_CAP: usize = 200_000;
@@ -42,7 +54,7 @@ impl LockTracker {
     pub fn new(n_locks: usize, n_cores: usize) -> Self {
         LockTracker {
             locks: (0..n_locks)
-                .map(|_| LockState {
+                .map(|i| LockState {
                     holder: None,
                     requesters: Vec::new(),
                     grac: Histogram::new(n_cores + 1),
@@ -50,6 +62,11 @@ impl LockTracker {
                     acquires: 0,
                     wait_cycles: 0,
                     since: Vec::new(),
+                    held_since: None,
+                    last_release: None,
+                    wait_hist: gstats::hist(&format!("lock.{i}.acquire_wait_cycles")),
+                    hold_hist: gstats::hist(&format!("lock.{i}.hold_cycles")),
+                    handoff_hist: gstats::hist(&format!("lock.{i}.handoff_cycles")),
                 })
                 .collect(),
             max_grac: n_cores,
@@ -80,12 +97,19 @@ impl LockTracker {
             l.holder
         );
         l.holder = Some(tid);
+        l.held_since = Some(now);
+        if let Some(at) = l.last_release {
+            // Handoff: release of the previous owner to grant of the next.
+            gstats::hist_record(l.handoff_hist, now.saturating_sub(at));
+            l.last_release = None;
+        }
         if let Some(i) = l.requesters.iter().position(|&t| t == tid) {
             l.requesters.swap_remove(i);
         }
         if let Some(i) = l.since.iter().position(|&(t, _)| t == tid) {
             let (_, at) = l.since.swap_remove(i);
             l.wait_cycles += now.saturating_sub(at);
+            gstats::hist_record(l.wait_hist, now.saturating_sub(at));
         }
         l.acquires += 1;
         if l.grants.len() < GRANT_LOG_CAP {
@@ -94,7 +118,7 @@ impl LockTracker {
     }
 
     /// A thread began its release: the critical section is over.
-    pub fn on_release_start(&mut self, lock: LockId, tid: ThreadId, _now: Cycle) {
+    pub fn on_release_start(&mut self, lock: LockId, tid: ThreadId, now: Cycle) {
         let l = &mut self.locks[lock.index()];
         assert_eq!(
             l.holder,
@@ -102,6 +126,10 @@ impl LockTracker {
             "{tid:?} released {lock:?} it does not hold"
         );
         l.holder = None;
+        if let Some(at) = l.held_since.take() {
+            gstats::hist_record(l.hold_hist, now.saturating_sub(at));
+        }
+        l.last_release = Some(now);
     }
 
     /// Sample the grAC histograms — call once per simulated cycle.
@@ -142,6 +170,21 @@ impl LockTracker {
     /// Current holder (tests).
     pub fn holder(&self, lock: LockId) -> Option<ThreadId> {
         self.locks[lock.index()].holder
+    }
+
+    /// Publish end-of-run per-lock totals into the stats registry (cheap
+    /// no-op when stats are off; the live histograms record on the fly).
+    pub fn publish_stats(&self) {
+        if !gstats::is_enabled() {
+            return;
+        }
+        for (i, l) in self.locks.iter().enumerate() {
+            gstats::set(gstats::counter(&format!("lock.{i}.acquires")), l.acquires);
+            gstats::set(
+                gstats::counter(&format!("lock.{i}.wait_cycles_total")),
+                l.wait_cycles,
+            );
+        }
     }
 
     /// No thread holds or requests any lock (end-of-run sanity).
@@ -240,6 +283,30 @@ mod tests {
         t.on_acquire_start(l, ThreadId(0), 100);
         t.on_acquired(l, ThreadId(0), 130);
         assert_eq!(t.mean_wait(l), 30.0);
+    }
+
+    #[test]
+    fn records_latency_histograms_when_stats_enabled() {
+        gstats::enable(gstats::StatsConfig::default());
+        let mut t = LockTracker::new(1, 4);
+        let l = LockId(0);
+        t.on_acquire_start(l, ThreadId(0), 100);
+        t.on_acquired(l, ThreadId(0), 130); // wait = 30
+        t.on_release_start(l, ThreadId(0), 180); // hold = 50
+        t.on_acquire_start(l, ThreadId(1), 150);
+        t.on_acquired(l, ThreadId(1), 184); // handoff = 4, wait = 34
+        t.on_release_start(l, ThreadId(1), 200);
+        t.publish_stats();
+        let d = gstats::snapshot();
+        gstats::disable();
+        assert_eq!(d.hists["lock.0.acquire_wait_cycles"].count, 2);
+        assert_eq!(d.hists["lock.0.acquire_wait_cycles"].sum, 64);
+        assert_eq!(d.hists["lock.0.hold_cycles"].count, 2);
+        assert_eq!(d.hists["lock.0.hold_cycles"].sum, 50 + 16);
+        assert_eq!(d.hists["lock.0.handoff_cycles"].count, 1);
+        assert_eq!(d.hists["lock.0.handoff_cycles"].sum, 4);
+        assert_eq!(d.counters["lock.0.acquires"], 2);
+        assert_eq!(d.counters["lock.0.wait_cycles_total"], 64);
     }
 
     #[test]

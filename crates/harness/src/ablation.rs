@@ -20,13 +20,23 @@ use glocks_workloads::{BenchConfig, BenchKind};
 /// the rest of the sweep still renders.
 fn run_once(cfg: &CmpConfig, bench: &BenchConfig, mapping: &LockMapping, opts: SimulationOptions) -> Option<u64> {
     let inst = bench.build();
+    let session = crate::exp::open_stats_session(
+        &format!("{}_{}_{}t", bench.kind.name(), mapping.label(), bench.threads),
+        &[("bench", bench.kind.name()), ("lock", mapping.label())],
+    );
     let sim = Simulation::new(cfg, mapping, inst.workloads, &inst.init, opts);
     match sim.run() {
         Ok((report, mem)) => {
             (inst.verify)(mem.store()).expect("ablation run must verify");
+            if let Some(s) = session {
+                s.finish(&report);
+            }
             Some(report.cycles)
         }
         Err(e) => {
+            if let Some(s) = session {
+                s.abort();
+            }
             eprintln!("[ablation] {:?} with {} wedged ({}); skipping\n{e}", bench.kind, mapping.label(), e.kind());
             None
         }
@@ -136,15 +146,25 @@ pub fn fairness_study(opts: &ExpOptions) -> TextTable {
         let cfg = CmpConfig::paper_baseline().with_cores(opts.threads);
         let mapping = LockMapping::uniform(algo, 1);
         let inst = bench.build();
+        let session = crate::exp::open_stats_session(
+            &format!("fairness_{}_{}t", algo.name(), bench.threads),
+            &[("bench", bench.kind.name()), ("lock", algo.name())],
+        );
         let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
         let (report, mem) = match sim.run() {
             Ok(ok) => ok,
             Err(e) => {
+                if let Some(s) = session {
+                    s.abort();
+                }
                 eprintln!("[ablation] fairness run under {} wedged ({}); skipping\n{e}", algo.name(), e.kind());
                 continue;
             }
         };
         (inst.verify)(mem.store()).expect("fairness run must verify");
+        if let Some(s) = session {
+            s.finish(&report);
+        }
         // Per-thread acquisition counts are fixed by the workload (each
         // thread performs its share), so fairness shows in the wait time.
         t.row([
@@ -166,26 +186,31 @@ pub fn dynamic_sharing_study(opts: &ExpOptions) -> TextTable {
     .header(["configuration", "cycles", "hw acquires", "spills", "binds"]);
     let bench = opts.bench(BenchKind::Raytr);
     let cfg = CmpConfig::paper_baseline().with_cores(opts.threads);
+    let run = |tag: &str, mapping: &LockMapping| {
+        let inst = bench.build();
+        let session = crate::exp::open_stats_session(
+            &format!("sharing_{tag}_{}t", bench.threads),
+            &[("bench", bench.kind.name()), ("lock", mapping.label())],
+        );
+        let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, SimulationOptions::default());
+        let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
+        (inst.verify)(mem.store()).expect("verify");
+        if let Some(s) = session {
+            s.finish(&r);
+        }
+        r
+    };
     // MCS hybrid baseline.
-    let inst = bench.build();
     let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Mcs, bench.n_locks());
-    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
-    (inst.verify)(mem.store()).expect("verify");
+    let r = run("mcs-hybrid", &mapping);
     t.row(["MCS hybrid".to_string(), r.cycles.to_string(), "-".into(), "-".into(), "-".into()]);
     // Static GLocks (the paper's configuration: programmer names the HC locks).
-    let inst = bench.build();
     let mapping = LockMapping::hybrid(&bench.hc_locks(), LockAlgorithm::Glock, bench.n_locks());
-    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
-    (inst.verify)(mem.store()).expect("verify");
+    let r = run("static-glocks", &mapping);
     t.row(["static GLocks".to_string(), r.cycles.to_string(), "-".into(), "-".into(), "-".into()]);
     // Dynamic sharing: every lock uses the pool.
-    let inst = bench.build();
     let mapping = LockMapping::uniform(LockAlgorithm::DynamicGlock, bench.n_locks());
-    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
-    let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
-    (inst.verify)(mem.store()).expect("verify");
+    let r = run("dynamic-glocks", &mapping);
     let p = r.pool.expect("pool stats");
     t.row([
         "dynamic GLocks".to_string(),
@@ -248,9 +273,16 @@ pub fn energy_sensitivity(opts: &ExpOptions) -> TextTable {
             let inst = bench.build();
             let opts_sim = SimulationOptions { energy_model: model, ..Default::default() };
             let mapping = LockMapping::uniform(algo, bench.n_locks());
+            let session = crate::exp::open_stats_session(
+                &format!("energy_{name}_{}_{}t", algo.name(), bench.threads),
+                &[("bench", bench.kind.name()), ("lock", algo.name())],
+            );
             let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts_sim);
             let (r, mem) = sim.run().expect("energy-sensitivity ablation wedged");
             (inst.verify)(mem.store()).expect("verify");
+            if let Some(s) = session {
+                s.finish(&r);
+            }
             r.ed2p
         };
         let ratio = run(LockAlgorithm::Glock) / run(LockAlgorithm::Mcs);

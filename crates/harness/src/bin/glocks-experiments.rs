@@ -2,16 +2,43 @@
 //!
 //! ```text
 //! glocks-experiments [EXPERIMENT ...] [--quick] [--threads N] [--csv DIR]
+//!                    [--stats-json DIR] [--chrome-trace FILE] [--jobs N]
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
 //!           | table1 | table2 | table3 | table4 | ablations | multiprog | faults
-//! --quick     reduced input sizes (seconds instead of minutes)
-//! --threads N CMP size for the main experiments (default 32)
-//! --csv DIR   additionally write each table as DIR/<experiment>.csv
+//! --quick            reduced input sizes (seconds instead of minutes)
+//! --threads N        CMP size for the main experiments (default 32)
+//! --csv DIR          additionally write each table as DIR/<experiment>.csv
+//! --stats-json DIR   record typed stats for every run and dump them as
+//!                    schema-versioned JSON into DIR, plus one
+//!                    BENCH_<experiment>.json self-profile per experiment
+//! --chrome-trace F   drain the event-trace ring of every run into one
+//!                    chrome://tracing / Perfetto JSON file
+//! --jobs N           run selected experiments on N worker threads
+//!                    (stats and traces are thread-local, so runs never mix)
 //! ```
 
-use glocks_harness::{ablation, exp::ExpOptions, faults, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4};
+use glocks_harness::{
+    ablation,
+    exp::{self, ExpOptions},
+    faults, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4,
+};
+use glocks_sim_base::trace::{self, TraceMask, TraceRecord};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Per-experiment trace-ring capacity when `--chrome-trace` is active.
+const TRACE_CAP: usize = 1 << 16;
+
+struct Cli {
+    opts: ExpOptions,
+    csv_dir: Option<String>,
+    stats_dir: Option<String>,
+    chrome_trace: Option<String>,
+    jobs: usize,
+}
 
 fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
     if let Some(d) = dir {
@@ -23,29 +50,177 @@ fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::T
     }
 }
 
+/// Run one experiment, returning everything it would have printed to stdout.
+/// Output is captured (rather than streamed) so `--jobs` workers never
+/// interleave lines; the caller prints results in selection order.
+fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
+    let opts = &cli.opts;
+    let csv_dir = &cli.csv_dir;
+    if let Some(dir) = &cli.stats_dir {
+        exp::set_stats_dir(Some(dir));
+        exp::set_stats_context(name);
+    }
+    if cli.chrome_trace.is_some() {
+        trace::enable(TraceMask::ALL, TRACE_CAP);
+    }
+    let mut out = String::new();
+    match name {
+        "table1" => {
+            let t = table1::run();
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "table1", &t);
+        }
+        "table2" => {
+            let t = table2::run();
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "table2", &t);
+        }
+        "table3" => {
+            let t = table3::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "table3", &t);
+        }
+        "fig1" => {
+            let t = fig1::run(opts).0;
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "fig1", &t);
+        }
+        "fig7" => {
+            let t = fig7::run(opts).0;
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "fig7", &t);
+            if csv_dir.is_some() {
+                // full per-grAC matrix for replotting the 3D figure
+                write_csv(csv_dir, "fig7_full", &fig7::full_matrix(opts));
+            }
+        }
+        "fig8" => {
+            let (t, rows) = fig8::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            writeln!(out, "{}", fig8::chart(&rows)).unwrap();
+            write_csv(csv_dir, "fig8", &t);
+            let (m, a) = fig8::average_reductions(&rows);
+            writeln!(
+                out,
+                "average execution-time reduction: micro {:.0}%, apps {:.0}% (paper: 42% / 14%)\n",
+                m * 100.0,
+                a * 100.0
+            )
+            .unwrap();
+        }
+        "table4" => {
+            let t = table4::run(opts).0;
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "table4", &t);
+        }
+        "fig9" => {
+            let (t, rows) = fig9::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            writeln!(out, "{}", fig9::chart(&rows)).unwrap();
+            write_csv(csv_dir, "fig9", &t);
+        }
+        "fig10" => {
+            let (t, rows) = fig10::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            writeln!(out, "{}", fig10::chart(&rows)).unwrap();
+            write_csv(csv_dir, "fig10", &t);
+        }
+        "stats" => {
+            use glocks_harness::exp::{glock_mapping, try_run_bench};
+            use glocks_workloads::BenchKind;
+            for kind in BenchKind::ALL {
+                let bench = opts.bench(kind);
+                let Some(r) = try_run_bench(&bench, &glock_mapping(&bench)) else {
+                    continue;
+                };
+                writeln!(out, "--- {} under GLocks ---", kind.name()).unwrap();
+                writeln!(out, "{}", glocks_sim::summary::render(&r.report)).unwrap();
+            }
+        }
+        "faults" => {
+            let t = faults::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "faults", &t);
+        }
+        "multiprog" => {
+            let t = multiprog::run_study(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "multiprog", &t);
+        }
+        "ablations" => {
+            writeln!(out, "{}", ablation::algorithm_sweep(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::gline_latency_sweep(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::hierarchy_study(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::fairness_study(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::dynamic_sharing_study(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::barrier_study(opts).render()).unwrap();
+            writeln!(out, "{}", ablation::energy_sensitivity(opts).render()).unwrap();
+        }
+        other => eprintln!("unknown experiment: {other}"),
+    }
+    if let Some(dir) = &cli.stats_dir {
+        let records = glocks_stats::selfprof::drain();
+        if !records.is_empty() {
+            let path = format!("{dir}/BENCH_{name}.json");
+            if let Err(e) = std::fs::write(&path, glocks_stats::selfprof::bench_json(&records)) {
+                eprintln!("failed to write {path}: {e}");
+            }
+        }
+        exp::set_stats_dir(None);
+    }
+    if cli.chrome_trace.is_some() {
+        traces.lock().unwrap().extend(trace::drain());
+        trace::disable();
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = ExpOptions::default();
+    let mut cli = Cli {
+        opts: ExpOptions::default(),
+        csv_dir: None,
+        stats_dir: None,
+        chrome_trace: None,
+        jobs: 1,
+    };
     let mut selected: Vec<String> = Vec::new();
-    let mut csv_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => opts.quick = true,
+            "--quick" => cli.opts.quick = true,
             "--threads" => {
                 i += 1;
-                opts.threads = args
+                cli.opts.threads = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--threads needs a number");
             }
             "--csv" => {
                 i += 1;
-                csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+                cli.csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            "--stats-json" => {
+                i += 1;
+                cli.stats_dir =
+                    Some(args.get(i).expect("--stats-json needs a directory").clone());
+            }
+            "--chrome-trace" => {
+                i += 1;
+                cli.chrome_trace =
+                    Some(args.get(i).expect("--chrome-trace needs a file").clone());
+            }
+            "--jobs" => {
+                i += 1;
+                cli.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .expect("--jobs needs a number >= 1");
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|stats]... [--quick] [--threads N] [--csv DIR]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|stats]... [--quick] [--threads N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N]"
                 );
                 return;
             }
@@ -62,98 +237,65 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    for name in &selected {
-        let t0 = Instant::now();
-        match name.as_str() {
-            "table1" => {
-                let t = table1::run();
-                println!("{}", t.render());
-                write_csv(&csv_dir, "table1", &t);
-            }
-            "table2" => {
-                let t = table2::run();
-                println!("{}", t.render());
-                write_csv(&csv_dir, "table2", &t);
-            }
-            "table3" => {
-                let t = table3::run(&opts);
-                println!("{}", t.render());
-                write_csv(&csv_dir, "table3", &t);
-            }
-            "fig1" => {
-                let t = fig1::run(&opts).0;
-                println!("{}", t.render());
-                write_csv(&csv_dir, "fig1", &t);
-            }
-            "fig7" => {
-                let t = fig7::run(&opts).0;
-                println!("{}", t.render());
-                write_csv(&csv_dir, "fig7", &t);
-                if csv_dir.is_some() {
-                    // full per-grAC matrix for replotting the 3D figure
-                    write_csv(&csv_dir, "fig7_full", &fig7::full_matrix(&opts));
-                }
-            }
-            "fig8" => {
-                let (t, rows) = fig8::run(&opts);
-                println!("{}", t.render());
-                println!("{}", fig8::chart(&rows));
-                write_csv(&csv_dir, "fig8", &t);
-                let (m, a) = fig8::average_reductions(&rows);
-                println!(
-                    "average execution-time reduction: micro {:.0}%, apps {:.0}% (paper: 42% / 14%)\n",
-                    m * 100.0,
-                    a * 100.0
-                );
-            }
-            "table4" => {
-                let t = table4::run(&opts).0;
-                println!("{}", t.render());
-                write_csv(&csv_dir, "table4", &t);
-            }
-            "fig9" => {
-                let (t, rows) = fig9::run(&opts);
-                println!("{}", t.render());
-                println!("{}", fig9::chart(&rows));
-                write_csv(&csv_dir, "fig9", &t);
-            }
-            "fig10" => {
-                let (t, rows) = fig10::run(&opts);
-                println!("{}", t.render());
-                println!("{}", fig10::chart(&rows));
-                write_csv(&csv_dir, "fig10", &t);
-            }
-            "stats" => {
-                use glocks_harness::exp::{glock_mapping, try_run_bench};
-                use glocks_workloads::BenchKind;
-                for kind in BenchKind::ALL {
-                    let bench = opts.bench(kind);
-                    let Some(r) = try_run_bench(&bench, &glock_mapping(&bench)) else { continue };
-                    println!("--- {} under GLocks ---", kind.name());
-                    println!("{}", glocks_sim::summary::render(&r.report));
-                }
-            }
-            "faults" => {
-                let t = faults::run(&opts);
-                println!("{}", t.render());
-                write_csv(&csv_dir, "faults", &t);
-            }
-            "multiprog" => {
-                let t = multiprog::run_study(&opts);
-                println!("{}", t.render());
-                write_csv(&csv_dir, "multiprog", &t);
-            }
-            "ablations" => {
-                println!("{}", ablation::algorithm_sweep(&opts).render());
-                println!("{}", ablation::gline_latency_sweep(&opts).render());
-                println!("{}", ablation::hierarchy_study(&opts).render());
-                println!("{}", ablation::fairness_study(&opts).render());
-                println!("{}", ablation::dynamic_sharing_study(&opts).render());
-                println!("{}", ablation::barrier_study(&opts).render());
-                println!("{}", ablation::energy_sensitivity(&opts).render());
-            }
-            other => eprintln!("unknown experiment: {other}"),
+    if let Some(dir) = &cli.stats_dir {
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    let sweep_start = Instant::now();
+    let traces: Mutex<Vec<TraceRecord>> = Mutex::new(Vec::new());
+    let n = selected.len();
+    let jobs = cli.jobs.min(n).max(1);
+    let mut walls: Vec<(String, f64)> = Vec::with_capacity(n);
+    if jobs == 1 {
+        for name in &selected {
+            let t0 = Instant::now();
+            let out = run_one(name, &cli, &traces);
+            print!("{out}");
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!("[{name} done in {secs:.1}s]");
+            walls.push((name.clone(), secs));
         }
-        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<(String, f64)>>> = Mutex::new(vec![None; n]);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let out = run_one(&selected[i], &cli, &traces);
+                    let secs = t0.elapsed().as_secs_f64();
+                    eprintln!("[{} done in {secs:.1}s]", selected[i]);
+                    results.lock().unwrap()[i] = Some((out, secs));
+                });
+            }
+        });
+        for (name, slot) in selected.iter().zip(results.into_inner().unwrap()) {
+            let (out, secs) = slot.expect("worker finished every claimed experiment");
+            print!("{out}");
+            walls.push((name.clone(), secs));
+        }
+    }
+    if n > 1 {
+        eprintln!("[sweep] per-experiment wall time ({jobs} job{}):", if jobs == 1 { "" } else { "s" });
+        for (name, secs) in &walls {
+            eprintln!("[sweep]   {name:<10} {secs:>7.1}s");
+        }
+        eprintln!(
+            "[sweep]   {:<10} {:>7.1}s wall",
+            "total",
+            sweep_start.elapsed().as_secs_f64()
+        );
+    }
+    if let Some(path) = &cli.chrome_trace {
+        let mut records = traces.into_inner().unwrap();
+        records.sort_by_key(|r| r.cycle);
+        match std::fs::write(path, glocks_stats::chrome::chrome_trace_json(&records)) {
+            Ok(()) => eprintln!("[trace] wrote {} events to {path}", records.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
     }
 }

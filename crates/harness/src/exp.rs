@@ -4,6 +4,97 @@ use glocks_locks::LockAlgorithm;
 use glocks_sim::{LockMapping, SimError, SimReport, Simulation, SimulationOptions};
 use glocks_sim_base::CmpConfig;
 use glocks_workloads::{BenchConfig, BenchKind};
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// Where this thread's runs dump their stats JSON (`None` = stats off).
+    static STATS_DIR: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Experiment name the subsequent runs belong to (dump-file prefix).
+    static STATS_CTX: RefCell<String> = const { RefCell::new(String::new()) };
+    /// Per-context sequence number so repeated configs get distinct files.
+    static STATS_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Direct every subsequent [`run_bench`] on *this thread* to record typed
+/// stats and dump them as JSON into `dir`. `None` turns dumping back off.
+/// Thread-local on purpose: parallel sweeps give each worker its own state.
+pub fn set_stats_dir(dir: Option<&str>) {
+    STATS_DIR.with(|d| *d.borrow_mut() = dir.map(|s| s.to_string()));
+}
+
+/// Name the experiment the subsequent runs belong to; used as the dump-file
+/// prefix and stored in the dump's `meta.experiment`. Resets the sequence
+/// counter so files within one experiment number from 0.
+pub fn set_stats_context(ctx: &str) {
+    STATS_CTX.with(|c| *c.borrow_mut() = ctx.to_string());
+    STATS_SEQ.with(|s| s.set(0));
+}
+
+/// Make a label safe for a filename (`MP-Lock` stays, `MCS/32` would not).
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// An open stats-recording session around one simulation run, created by
+/// [`open_stats_session`]. Close it with [`StatsSession::finish`] (dumps
+/// the report's snapshot) or [`StatsSession::abort`] (wedged run).
+pub struct StatsSession {
+    dir: String,
+    tag: String,
+    watch: glocks_stats::Stopwatch,
+}
+
+/// Open a stats session for one run if `set_stats_dir` is active on this
+/// thread (`None` otherwise — zero cost). [`run_bench_with`] does this for
+/// the standard path; drivers that assemble a `Simulation` by hand (fault
+/// sweeps, multiprogramming, ablations) call it around `sim.run()` so
+/// *every* experiment dumps stats under `--stats-json`. Open it **before**
+/// `Simulation::new` — components register their histograms and series in
+/// their constructors. `meta` key/value pairs land in the dump's `meta`
+/// block.
+pub fn open_stats_session(tag: &str, meta: &[(&str, &str)]) -> Option<StatsSession> {
+    let dir = STATS_DIR.with(|d| d.borrow().clone())?;
+    let ctx = STATS_CTX.with(|c| c.borrow().clone());
+    let ctx = if ctx.is_empty() { "run".to_string() } else { ctx };
+    let tag = format!("{ctx}_{}", sanitize(tag));
+    let watch = glocks_stats::Stopwatch::start(&tag);
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    glocks_stats::set_meta("experiment", &ctx);
+    for (k, v) in meta {
+        glocks_stats::set_meta(k, v);
+    }
+    Some(StatsSession { dir, tag, watch })
+}
+
+impl StatsSession {
+    /// Dump the report's snapshot as `DIR/<tag>_<seq>.json`, profile the
+    /// phase, and close the session.
+    pub fn finish(self, report: &SimReport) {
+        if let Some(dump) = &report.stats {
+            let seq = STATS_SEQ.with(|s| {
+                let v = s.get();
+                s.set(v + 1);
+                v
+            });
+            let path = format!("{}/{}_{seq}.json", self.dir, self.tag);
+            if let Err(e) = std::fs::write(&path, dump.to_json()) {
+                eprintln!("[harness] failed to write stats dump {path}: {e}");
+            }
+        }
+        self.watch.stop(report.cycles);
+        glocks_stats::disable();
+    }
+
+    /// Close the session after a wedged run: nothing to dump, and the
+    /// phase is profiled as 0 simulated cycles so the sweep's BENCH file
+    /// still accounts for the wall time spent.
+    pub fn abort(self) {
+        self.watch.stop(0);
+        glocks_stats::disable();
+    }
+}
 
 /// Global experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -57,16 +148,35 @@ pub fn run_bench_with(
     mapping: &LockMapping,
     options: SimulationOptions,
 ) -> Result<RunResult, SimError> {
+    let session = open_stats_session(
+        &format!("{}_{}_{}t", bench.kind.name(), mapping.label(), bench.threads),
+        &[
+            ("bench", bench.kind.name()),
+            ("lock", mapping.label()),
+            ("threads", &bench.threads.to_string()),
+        ],
+    );
     let inst = bench.build();
     let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
     let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, options);
-    let (report, mem) = sim.run()?;
+    let (report, mem) = match sim.run() {
+        Ok(x) => x,
+        Err(e) => {
+            if let Some(s) = session {
+                s.abort();
+            }
+            return Err(e);
+        }
+    };
     if let Err(e) = (inst.verify)(mem.store()) {
         panic!(
             "{:?} with {} failed verification: {e}",
             bench.kind,
             mapping.label()
         );
+    }
+    if let Some(s) = session {
+        s.finish(&report);
     }
     Ok(RunResult {
         kind: bench.kind,
@@ -106,6 +216,32 @@ pub fn glock_mapping(bench: &BenchConfig) -> LockMapping {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_dir_dumps_schema_versioned_json() {
+        let dir = std::env::temp_dir().join(format!("glocks_stats_exp_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        set_stats_dir(dir.to_str());
+        set_stats_context("unit");
+        let opts = ExpOptions { quick: true, threads: 4 };
+        let bench = opts.bench(BenchKind::Sctr);
+        let r = run_bench(&bench, &glock_mapping(&bench)).expect("fault-free run");
+        set_stats_dir(None);
+        let dump = r.report.stats.as_ref().expect("snapshot attached to report");
+        assert_eq!(dump.schema_version, glocks_stats::SCHEMA_VERSION);
+        let path = dir.join(format!(
+            "unit_{}_{}_4t_0.json",
+            bench.kind.name(),
+            sanitize(r.label)
+        ));
+        let text = std::fs::read_to_string(&path).expect("dump file written");
+        let parsed = glocks_stats::StatsDump::from_json(&text).expect("dump parses");
+        assert_eq!(parsed.meta.get("bench").map(String::as_str), Some(bench.kind.name()));
+        assert_eq!(parsed.meta.get("experiment").map(String::as_str), Some("unit"));
+        assert!(parsed.counters.contains_key("sim.cycles"));
+        assert!(!glocks_stats::is_enabled(), "session closed after the run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn quick_run_produces_report() {

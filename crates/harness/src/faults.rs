@@ -41,11 +41,24 @@ pub fn run(opts: &ExpOptions) -> TextTable {
             watchdog_cycles: 200_000,
             ..Default::default()
         };
+        // Before `Simulation::new`: components register their histograms
+        // in their constructors, so the session must already be open.
+        let session = crate::exp::open_stats_session(
+            &format!("SCTR_GLock_drop{drop_ppm}ppm_{}t", bench.threads),
+            &[
+                ("bench", "SCTR"),
+                ("lock", "GLock"),
+                ("drop_ppm", &drop_ppm.to_string()),
+            ],
+        );
         let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, sim_opts);
         let rate = format!("{}%", drop_ppm as f64 / 10_000.0);
         match sim.run() {
             Ok((report, mem)) => {
                 (inst.verify)(mem.store()).expect("surviving a fault schedule means *correctly*");
+                if let Some(s) = session {
+                    s.finish(&report);
+                }
                 let g = report.glocks[0];
                 t.row([
                     rate,
@@ -58,6 +71,9 @@ pub fn run(opts: &ExpOptions) -> TextTable {
                 ]);
             }
             Err(e) => {
+                if let Some(s) = session {
+                    s.abort();
+                }
                 let g = e.snapshot().glocks.first().map(|g| g.stats).unwrap_or_default();
                 t.row([
                     rate,

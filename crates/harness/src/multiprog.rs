@@ -25,10 +25,23 @@ fn run(mp: &MultiprogConfig, hc_algo: LockAlgorithm) -> SimReport {
         barrier_partitions: Some(mp.barrier_partitions()),
         ..Default::default()
     };
+    let session = crate::exp::open_stats_session(
+        &format!(
+            "{}+{}_{}_{}t",
+            mp.a.kind.name(),
+            mp.b.kind.name(),
+            hc_algo.name(),
+            mp.total_threads()
+        ),
+        &[("lock", hc_algo.name())],
+    );
     let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, opts);
     let (report, mem) = sim.run().expect("multiprogramming run wedged");
     if let Err(e) = (inst.verify)(mem.store()) {
         panic!("multiprog under {}: {e}", hc_algo.name());
+    }
+    if let Some(s) = session {
+        s.finish(&report);
     }
     report
 }

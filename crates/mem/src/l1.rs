@@ -49,6 +49,10 @@ pub struct L1Cache {
     events: EventQueue<L1Event>,
     done: Option<MemResult>,
     counters: CounterSet,
+    /// Submit cycle of the in-flight op, for the miss-latency histogram.
+    submitted_at: Option<Cycle>,
+    /// `mem.l1.t{N}.miss_latency` (free `NONE` id when stats are off).
+    miss_hist: glocks_stats::HistId,
     l1_latency: u64,
     line_bytes: u64,
     num_tiles: usize,
@@ -66,6 +70,8 @@ impl L1Cache {
             events: EventQueue::new(),
             done: None,
             counters: CounterSet::default(),
+            submitted_at: None,
+            miss_hist: glocks_stats::hist(&format!("mem.l1.t{}.miss_latency", core.0)),
             l1_latency: cfg.l1.total_latency(),
             line_bytes: cfg.line_bytes,
             num_tiles: cfg.num_cores,
@@ -94,6 +100,7 @@ impl L1Cache {
     pub fn submit(&mut self, op: MemOp, now: Cycle) {
         assert!(!self.busy(), "core {} submitted while L1 busy", self.core);
         self.counters.add("l1_access", 1);
+        self.submitted_at = Some(now);
         self.events.schedule(now + self.l1_latency, L1Event::Access(op));
     }
 
@@ -137,6 +144,11 @@ impl L1Cache {
             }
         };
         debug_assert!(self.done.is_none());
+        if let Some(at) = self.submitted_at.take() {
+            if !l1_hit {
+                glocks_stats::hist_record(self.miss_hist, now.saturating_sub(at));
+            }
+        }
         self.done = Some(MemResult { op, value, finished_at: now, l1_hit });
     }
 

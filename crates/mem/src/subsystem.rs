@@ -239,6 +239,29 @@ impl MemorySystem {
         c
     }
 
+    /// Publish end-of-run memory-hierarchy totals into the stats registry:
+    /// per-tile L1 and directory event counters plus chip-wide aggregates
+    /// (no-op when stats are off).
+    pub fn publish_stats(&self) {
+        if !glocks_stats::is_enabled() {
+            return;
+        }
+        for (t, l1) in self.l1s.iter().enumerate() {
+            for (k, v) in l1.counters().iter() {
+                glocks_stats::set(glocks_stats::counter(&format!("mem.l1.t{t}.{k}")), v);
+            }
+        }
+        for (t, dir) in self.dirs.iter().enumerate() {
+            for (k, v) in dir.counters().iter() {
+                glocks_stats::set(glocks_stats::counter(&format!("mem.dir.t{t}.{k}")), v);
+            }
+        }
+        for (k, v) in self.counters().iter() {
+            glocks_stats::set(glocks_stats::counter(&format!("mem.total.{k}")), v);
+        }
+        self.net.publish_stats();
+    }
+
     /// Check the MESI system invariants; panics with a description if one
     /// is violated. Intended for tests (called every N cycles).
     ///

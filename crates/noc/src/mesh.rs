@@ -1,11 +1,12 @@
 //! The assembled mesh fabric: routers wired by the floor plan, a cycle
 //! `tick`, packet injection and per-tile delivery.
 
-use crate::packet::Packet;
+use crate::packet::{Packet, TrafficClass};
 use crate::router::{Queued, Router, N_PORTS, P_EAST, P_LOCAL, P_NORTH, P_SOUTH, P_WEST};
 use crate::traffic::TrafficStats;
 use glocks_sim_base::fault::{FaultDecision, FaultInjector};
 use glocks_sim_base::{config::NocConfig, Cycle, Mesh2D, TileId};
+use glocks_stats as gstats;
 use std::collections::VecDeque;
 
 /// The 2D-mesh data network.
@@ -19,10 +20,32 @@ pub struct MeshNoc<T> {
     in_flight: usize,
     faults: Option<FaultInjector>,
     dropped: u64,
+    /// Per-class end-to-end latency histograms (`noc.lat.{class}`). All
+    /// free `NONE` ids when stats are off.
+    lat_hists: [gstats::HistId; TrafficClass::ALL.len()],
+    /// Per-router input-queue occupancy gauges
+    /// (`noc.router.{x}_{y}.queue_depth`), sampled every stats period.
+    queue_series: Vec<gstats::SeriesId>,
+}
+
+fn class_name(c: TrafficClass) -> &'static str {
+    match c {
+        TrafficClass::Request => "request",
+        TrafficClass::Reply => "reply",
+        TrafficClass::Coherence => "coherence",
+    }
 }
 
 impl<T> MeshNoc<T> {
     pub fn new(mesh: Mesh2D, cfg: NocConfig) -> Self {
+        let lat_hists = TrafficClass::ALL
+            .map(|c| gstats::hist(&format!("noc.lat.{}", class_name(c))));
+        let queue_series = (0..mesh.len())
+            .map(|t| {
+                let c = mesh.coord(TileId::from(t));
+                gstats::series(&format!("noc.router.{}_{}.queue_depth", c.x, c.y))
+            })
+            .collect();
         MeshNoc {
             mesh,
             cfg,
@@ -32,6 +55,8 @@ impl<T> MeshNoc<T> {
             in_flight: 0,
             faults: None,
             dropped: 0,
+            lat_hists,
+            queue_series,
         }
     }
 
@@ -142,6 +167,12 @@ impl<T> MeshNoc<T> {
     /// Advance the whole fabric by one cycle.
     #[allow(clippy::needless_range_loop)]
     pub fn tick(&mut self, now: Cycle) {
+        // Congestion gauges (one thread-local flag read when stats are off).
+        if gstats::should_sample(now) {
+            for (r, &sid) in self.queue_series.iter().enumerate() {
+                gstats::push(sid, self.routers[r].occupancy() as f64);
+            }
+        }
         // Per router: arbitrate each output port among ready head packets.
         for r in 0..self.routers.len() {
             let tile = TileId::from(r);
@@ -191,12 +222,32 @@ impl<T> MeshNoc<T> {
             if q[i].0 <= now {
                 let (_, pkt) = q.remove(i).expect("index in range");
                 self.in_flight -= 1;
-                self.stats.on_deliver(now.saturating_sub(pkt.injected_at));
+                let lat = now.saturating_sub(pkt.injected_at);
+                self.stats.on_deliver(lat);
+                gstats::hist_record(self.lat_hists[pkt.class.index()], lat);
                 out.push(pkt);
             } else {
                 i += 1;
             }
         }
+    }
+
+    /// Publish end-of-run traffic totals into the stats registry (no-op
+    /// when stats are off; latency histograms record live in [`Self::drain`]).
+    pub fn publish_stats(&self) {
+        if !gstats::is_enabled() {
+            return;
+        }
+        for c in TrafficClass::ALL {
+            let n = class_name(c);
+            gstats::set(gstats::counter(&format!("noc.{n}.bytes")), self.stats.bytes(c));
+            gstats::set(
+                gstats::counter(&format!("noc.{n}.messages")),
+                self.stats.messages(c),
+            );
+            gstats::set(gstats::counter(&format!("noc.{n}.hops")), self.stats.hops(c));
+        }
+        gstats::set(gstats::counter("noc.packets_dropped"), self.dropped);
     }
 
     /// True when no packet is anywhere in the fabric or delivery buffers.

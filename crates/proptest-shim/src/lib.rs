@@ -257,7 +257,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::Range;
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
@@ -342,6 +342,7 @@ macro_rules! __proptest_cases {
                 let __guard = $crate::test_runner::CaseGuard::new(__path, __case);
                 // Body runs inside a `Result` closure so `return Ok(())`
                 // early-exits a case exactly as it does under real proptest.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                     (|| {
                         $body;

@@ -87,9 +87,9 @@ pub enum FaultSite {
 impl FaultSite {
     fn tag(self) -> u64 {
         match self {
-            FaultSite::Gline => 0x474C_494E_45,
-            FaultSite::Noc => 0x4E4F_43,
-            FaultSite::Dir => 0x444952,
+            FaultSite::Gline => 0x47_4C49_4E45,
+            FaultSite::Noc => 0x004E_4F43,
+            FaultSite::Dir => 0x0044_4952,
         }
     }
 }

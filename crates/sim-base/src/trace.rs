@@ -117,6 +117,7 @@ pub fn disable() {
         let mut t = t.borrow_mut();
         t.mask = TraceMask(0);
         t.ring.clear();
+        t.dropped = 0;
     });
 }
 
@@ -199,6 +200,21 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0].text, "e2");
         assert_eq!(recs[2].text, "e4");
+        disable();
+    }
+
+    #[test]
+    fn disable_resets_the_dropped_counter() {
+        enable(TraceMask::ALL, 1);
+        trace_event!(TraceMask::CORE, 0, "a");
+        trace_event!(TraceMask::CORE, 1, "b");
+        assert_eq!(dropped(), 1);
+        disable();
+        assert_eq!(dropped(), 0, "a dead session must not leak drop counts");
+        // And a fresh session starts from zero, not from stale state.
+        enable(TraceMask::ALL, 10);
+        trace_event!(TraceMask::CORE, 2, "c");
+        assert_eq!(dropped(), 0);
         disable();
     }
 

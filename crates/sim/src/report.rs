@@ -56,6 +56,9 @@ pub struct SimReport {
     pub finished_at: Vec<Cycle>,
     /// Binding-table statistics when dynamic GLock sharing was active.
     pub pool: Option<PoolStats>,
+    /// Full typed-stats snapshot, present when a stats session was active
+    /// during the run (`glocks_stats::enable`). `None` costs nothing.
+    pub stats: Option<glocks_stats::StatsDump>,
 }
 
 impl SimReport {
@@ -125,6 +128,7 @@ mod tests {
             glocks: vec![],
             finished_at: vec![],
             pool: None,
+            stats: None,
         };
         assert!((report.aggregate_lcr_above(2) - 0.7).abs() < 1e-12);
         assert!((report.aggregate_lcr_above(0) - 1.0).abs() < 1e-12);

@@ -402,6 +402,28 @@ impl Simulation {
             .iter()
             .map(|c| c.finished_at().unwrap_or(finish_at))
             .collect();
+        // End-of-run stats publication: totals the components already track
+        // are copied into the typed-stats registry so the snapshot is
+        // self-contained. Live histograms were recorded during the run.
+        let stats = if glocks_stats::is_enabled() {
+            for core in &self.cores {
+                core.publish_stats();
+            }
+            self.tracker.publish_stats();
+            self.mem.publish_stats();
+            for net in &self.glock_nets {
+                net.publish_stats();
+            }
+            glocks_stats::set(glocks_stats::counter("sim.cycles"), finish_at);
+            glocks_stats::set(glocks_stats::counter("sim.instructions"), instructions);
+            glocks_stats::set(
+                glocks_stats::counter("sim.gbarrier.signals"),
+                gbarrier_signals,
+            );
+            Some(glocks_stats::snapshot())
+        } else {
+            None
+        };
         let report = SimReport {
             cycles: finish_at,
             breakdowns,
@@ -418,6 +440,7 @@ impl Simulation {
             glocks,
             finished_at: finished_at_vec,
             pool: self.pool.as_ref().map(|p| p.stats()),
+            stats,
         };
         Ok((report, self.mem))
     }

@@ -1,0 +1,211 @@
+//! `glocks-stats` — inspect and regression-diff simulator stats dumps.
+//!
+//! ```text
+//! glocks-stats show  DUMP.json                 # human-readable summary
+//! glocks-stats csv   DUMP.json                 # flat CSV on stdout
+//! glocks-stats diff  OLD.json NEW.json         # regression gate
+//!     [--tolerance FRAC]      relative drift allowed (default 0.01)
+//!     [--abs-floor N]         ignore changes when both values <= N (default 4)
+//!     [--watch PREFIX]        only stats under PREFIX can fail (repeatable)
+//!     [--allow-shape-change]  added/removed stats do not fail
+//!     [--all]                 print unchanged lines too
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = out-of-tolerance drift (or shape change),
+//! 2 = usage or I/O error. CI pipes a freshly-generated dump against the
+//! committed golden dump and fails the build on exit 1.
+
+use glocks_stats::diff::DiffKind;
+use glocks_stats::{diff, DiffOptions, StatsDump};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// `println!` that shrugs off a closed pipe (`glocks-stats show ... | head`)
+/// instead of panicking.
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: glocks-stats show DUMP.json\n\
+         \x20      glocks-stats csv  DUMP.json\n\
+         \x20      glocks-stats diff OLD.json NEW.json [--tolerance FRAC] [--abs-floor N]\n\
+         \x20                        [--watch PREFIX]... [--allow-shape-change] [--all]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<StatsDump, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    StatsDump::from_json(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") if args.len() == 2 => show(&args[1]),
+        Some("csv") if args.len() == 2 => csv(&args[1]),
+        Some("diff") if args.len() >= 3 => cmd_diff(&args[1], &args[2], &args[3..]),
+        _ => usage(),
+    }
+}
+
+fn show(path: &str) -> ExitCode {
+    let d = match load(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    outln!("schema_version: {}", d.schema_version);
+    if !d.meta.is_empty() {
+        outln!("meta:");
+        for (k, v) in &d.meta {
+            outln!("  {k} = {v}");
+        }
+    }
+    outln!("counters ({}):", d.counters.len());
+    for (k, v) in &d.counters {
+        outln!("  {k:<48} {v}");
+    }
+    outln!("histograms ({}):", d.hists.len());
+    for (k, h) in &d.hists {
+        outln!(
+            "  {k:<48} n={} mean={:.1} p50={} p99={} max={}",
+            h.count,
+            h.mean(),
+            h.percentile(0.50),
+            h.percentile(0.99),
+            h.max
+        );
+    }
+    outln!("series ({}):", d.series.len());
+    for (k, s) in &d.series {
+        let mean = if s.points.is_empty() {
+            0.0
+        } else {
+            s.points.iter().sum::<f64>() / s.points.len() as f64
+        };
+        outln!(
+            "  {k:<48} n={} period={} mean={mean:.2}",
+            s.points.len(),
+            s.period
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn csv(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(d) => {
+            let _ = write!(std::io::stdout(), "{}", d.to_csv());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_diff(old_path: &str, new_path: &str, rest: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut show_all = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => opts.tolerance = t,
+                _ => return usage(),
+            },
+            "--abs-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f >= 0.0 => opts.abs_floor = f,
+                _ => return usage(),
+            },
+            "--watch" => match it.next() {
+                Some(p) => opts.watch.push(p.clone()),
+                None => return usage(),
+            },
+            "--allow-shape-change" => opts.fail_on_shape_change = false,
+            "--all" => show_all = true,
+            _ => return usage(),
+        }
+    }
+
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = diff(&old, &new, &opts);
+    if let Some(reason) = &report.incomparable {
+        eprintln!("FAIL: {reason}");
+        return ExitCode::from(1);
+    }
+
+    let mut shown = 0usize;
+    for line in &report.lines {
+        if line.kind == DiffKind::Unchanged && !show_all {
+            continue;
+        }
+        shown += 1;
+        let tag = match line.kind {
+            DiffKind::Unchanged => "  same",
+            DiffKind::WithinTolerance => "    ok",
+            DiffKind::OutOfTolerance => {
+                if line.failing {
+                    "  FAIL"
+                } else {
+                    " drift"
+                }
+            }
+            DiffKind::Added => " added",
+            DiffKind::Removed => "removed",
+        };
+        match line.kind {
+            DiffKind::Added => {
+                outln!("{tag}  {:<52} -> {}", line.name, line.new);
+            }
+            DiffKind::Removed => {
+                outln!("{tag}  {:<52} {} ->", line.name, line.old);
+            }
+            _ => {
+                outln!(
+                    "{tag}  {:<52} {} -> {}  ({:+.2}%)",
+                    line.name,
+                    line.old,
+                    line.new,
+                    100.0 * line.rel
+                );
+            }
+        }
+    }
+
+    let changed = report.changed().count();
+    let failing = report.failing_lines().count();
+    outln!(
+        "{} stats compared, {changed} changed, {failing} failing (tolerance {:.2}%{})",
+        report.lines.len(),
+        100.0 * opts.tolerance,
+        if opts.watch.is_empty() {
+            String::new()
+        } else {
+            format!(", watching {}", opts.watch.join(" "))
+        }
+    );
+    if shown == 0 && changed == 0 {
+        outln!("dumps are identical");
+    }
+    if report.failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,101 @@
+//! Chrome `trace_event` exporter for the simulator's debug-trace ring.
+//!
+//! Converts [`glocks_sim_base::trace::TraceRecord`]s (as returned by
+//! `trace::drain()`) into the JSON Object Format understood by
+//! `chrome://tracing` and Perfetto. Each record becomes an instant event
+//! whose timestamp is the simulated cycle (1 cycle = 1 "microsecond" on
+//! the timeline) and whose "process" is the trace category, so G-line
+//! traffic, coherence transactions and core scheduling land on separate
+//! rows of the same timeline.
+
+use crate::json::Json;
+use glocks_sim_base::trace::TraceRecord;
+use std::collections::BTreeMap;
+
+/// Encode trace records as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    // Stable process ids per category, in order of first appearance.
+    let mut pids: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in records {
+        let next = pids.len() as u64 + 1;
+        pids.entry(r.category.name()).or_insert(next);
+    }
+
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + pids.len());
+    // Name each "process" after its trace category.
+    for (name, pid) in &pids {
+        let mut ev = BTreeMap::new();
+        ev.insert("name".to_string(), Json::Str("process_name".into()));
+        ev.insert("ph".to_string(), Json::Str("M".into()));
+        ev.insert("pid".to_string(), Json::UInt(*pid));
+        ev.insert("tid".to_string(), Json::UInt(0));
+        let mut args = BTreeMap::new();
+        args.insert("name".to_string(), Json::Str((*name).to_string()));
+        ev.insert("args".to_string(), Json::Obj(args));
+        events.push(Json::Obj(ev));
+    }
+    for r in records {
+        let mut ev = BTreeMap::new();
+        ev.insert("name".to_string(), Json::Str(r.text.clone()));
+        ev.insert("cat".to_string(), Json::Str(r.category.name().to_string()));
+        // Instant event, thread-scoped.
+        ev.insert("ph".to_string(), Json::Str("i".into()));
+        ev.insert("s".to_string(), Json::Str("t".into()));
+        ev.insert("ts".to_string(), Json::UInt(r.cycle));
+        ev.insert("pid".to_string(), Json::UInt(pids[r.category.name()]));
+        ev.insert("tid".to_string(), Json::UInt(0));
+        events.push(Json::Obj(ev));
+    }
+
+    let mut root = BTreeMap::new();
+    root.insert("traceEvents".to_string(), Json::Arr(events));
+    root.insert("displayTimeUnit".to_string(), Json::Str("ns".into()));
+    let mut out = Json::Obj(root).encode();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use glocks_sim_base::trace::TraceMask;
+
+    #[test]
+    fn exports_instant_events_with_cycle_timestamps() {
+        let recs = vec![
+            TraceRecord { cycle: 10, category: TraceMask::GLOCK, text: "token to 3".into() },
+            TraceRecord { cycle: 12, category: TraceMask::COHERENCE, text: "GETX 0x40".into() },
+            TraceRecord { cycle: 15, category: TraceMask::GLOCK, text: "token to 5".into() },
+        ];
+        let doc = chrome_trace_json(&recs);
+        let v = json::parse(&doc).expect("valid json");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 process_name metadata events + 3 instants.
+        assert_eq!(events.len(), 5);
+        let instants: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 3);
+        assert_eq!(instants[0].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(instants[0].get("name").unwrap().as_str(), Some("token to 3"));
+        assert_eq!(instants[0].get("cat").unwrap().as_str(), Some("glock"));
+        // Same category ⇒ same pid; different category ⇒ different pid.
+        assert_eq!(
+            instants[0].get("pid").unwrap().as_u64(),
+            instants[2].get("pid").unwrap().as_u64()
+        );
+        assert_ne!(
+            instants[0].get("pid").unwrap().as_u64(),
+            instants[1].get("pid").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn empty_ring_still_produces_a_loadable_document() {
+        let doc = chrome_trace_json(&[]);
+        let v = json::parse(&doc).expect("valid json");
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Serializable, deterministically-ordered snapshot of a stats session.
+//!
+//! A [`StatsDump`] is what [`crate::registry::snapshot`] returns, what the
+//! harness writes to `--stats-json` directories, and what `glocks-stats
+//! diff` consumes. The encoding is intentionally boring: sorted keys,
+//! integer counters as integer literals, no wall-clock timestamps — so an
+//! identical seed + config produces a byte-identical file and regression
+//! diffing reduces to structured comparison instead of fuzzy matching.
+
+use crate::hist::{Log2Histogram, N_BUCKETS};
+use crate::json::{self, Json};
+use crate::series::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Bumped whenever the dump layout changes incompatibly. `glocks-stats
+/// diff` refuses to compare dumps with different schema versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Exported form of a [`Log2Histogram`]: summary moments plus the sparse
+/// set of non-empty buckets (`(bucket_index, count)` pairs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistDump {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty buckets only, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistDump {
+    pub fn from_hist(h: &Log2Histogram) -> Self {
+        HistDump {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets: h
+                .buckets()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        }
+    }
+
+    /// Rebuild the full histogram (for percentile queries on a parsed dump).
+    pub fn to_hist(&self) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for &(i, c) in &self.buckets {
+            let (lo, _) = Log2Histogram::bucket_bounds(i as usize);
+            h.record_n(lo, c);
+        }
+        h
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Percentile resolved to a bucket upper bound, clamped to the
+    /// recorded max (same contract as [`Log2Histogram::percentile`]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Log2Histogram::bucket_bounds(i as usize).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Exported form of a [`TimeSeries`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesDump {
+    /// Cycles between consecutive points (after any decimation).
+    pub period: u64,
+    pub points: Vec<f64>,
+}
+
+impl SeriesDump {
+    pub fn from_series(s: &TimeSeries) -> Self {
+        SeriesDump { period: s.period(), points: s.points().to_vec() }
+    }
+}
+
+/// A complete stats snapshot.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StatsDump {
+    pub schema_version: u32,
+    /// Free-form annotations (bench name, lock backend, thread count, …).
+    /// Deliberately excludes wall-clock time so dumps stay reproducible.
+    pub meta: BTreeMap<String, String>,
+    pub counters: BTreeMap<String, u64>,
+    pub hists: BTreeMap<String, HistDump>,
+    pub series: BTreeMap<String, SeriesDump>,
+}
+
+impl StatsDump {
+    /// Deterministic compact JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema_version".to_string(),
+            Json::UInt(self.schema_version as u64),
+        );
+        root.insert(
+            "meta".to_string(),
+            Json::Obj(
+                self.meta
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "counters".to_string(),
+            Json::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "hists".to_string(),
+            Json::Obj(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut m = BTreeMap::new();
+                        m.insert("count".to_string(), Json::UInt(h.count));
+                        m.insert("sum".to_string(), Json::UInt(h.sum));
+                        m.insert("min".to_string(), Json::UInt(h.min));
+                        m.insert("max".to_string(), Json::UInt(h.max));
+                        m.insert(
+                            "buckets".to_string(),
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(i, c)| {
+                                        Json::Arr(vec![
+                                            Json::UInt(i as u64),
+                                            Json::UInt(c),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        (k.clone(), Json::Obj(m))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "series".to_string(),
+            Json::Obj(
+                self.series
+                    .iter()
+                    .map(|(k, s)| {
+                        let mut m = BTreeMap::new();
+                        m.insert("period".to_string(), Json::UInt(s.period));
+                        m.insert(
+                            "points".to_string(),
+                            Json::Arr(s.points.iter().map(|&p| Json::Num(p)).collect()),
+                        );
+                        (k.clone(), Json::Obj(m))
+                    })
+                    .collect(),
+            ),
+        );
+        let mut out = Json::Obj(root).encode();
+        out.push('\n');
+        out
+    }
+
+    /// Parse a dump previously written by [`StatsDump::to_json`].
+    pub fn from_json(src: &str) -> Result<StatsDump, String> {
+        let v = json::parse(src)?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")? as u32;
+        let mut dump = StatsDump { schema_version, ..StatsDump::default() };
+        if let Some(meta) = v.get("meta").and_then(Json::as_obj) {
+            for (k, mv) in meta {
+                let s = mv.as_str().ok_or_else(|| format!("meta {k:?} not a string"))?;
+                dump.meta.insert(k.clone(), s.to_string());
+            }
+        }
+        if let Some(counters) = v.get("counters").and_then(Json::as_obj) {
+            for (k, cv) in counters {
+                let n = cv
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {k:?} not a u64"))?;
+                dump.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(hists) = v.get("hists").and_then(Json::as_obj) {
+            for (k, hv) in hists {
+                let field = |name: &str| -> Result<u64, String> {
+                    hv.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("hist {k:?} missing {name}"))
+                };
+                let mut buckets = Vec::new();
+                for b in hv
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("hist {k:?} missing buckets"))?
+                {
+                    let pair = b.as_arr().ok_or("bucket entry not a pair")?;
+                    let i = pair
+                        .first()
+                        .and_then(Json::as_u64)
+                        .ok_or("bad bucket index")?;
+                    let c = pair.get(1).and_then(Json::as_u64).ok_or("bad bucket count")?;
+                    if i as usize >= N_BUCKETS {
+                        return Err(format!("hist {k:?} bucket index {i} out of range"));
+                    }
+                    buckets.push((i as u32, c));
+                }
+                dump.hists.insert(
+                    k.clone(),
+                    HistDump {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        if let Some(series) = v.get("series").and_then(Json::as_obj) {
+            for (k, sv) in series {
+                let period = sv
+                    .get("period")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("series {k:?} missing period"))?;
+                let mut points = Vec::new();
+                for p in sv
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("series {k:?} missing points"))?
+                {
+                    points.push(p.as_f64().ok_or("series point not a number")?);
+                }
+                dump.series.insert(k.clone(), SeriesDump { period, points });
+            }
+        }
+        Ok(dump)
+    }
+
+    /// Flat CSV view (`kind,name,field,value`) — convenient for spreadsheet
+    /// spot checks; the JSON form remains the canonical one.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        for (k, v) in &self.meta {
+            out.push_str(&format!("meta,{},value,{}\n", esc(k), esc(v)));
+        }
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{},value,{v}\n", esc(k)));
+        }
+        for (k, h) in &self.hists {
+            let name = esc(k);
+            out.push_str(&format!("hist,{name},count,{}\n", h.count));
+            out.push_str(&format!("hist,{name},sum,{}\n", h.sum));
+            out.push_str(&format!("hist,{name},min,{}\n", h.min));
+            out.push_str(&format!("hist,{name},max,{}\n", h.max));
+            for &(i, c) in &h.buckets {
+                out.push_str(&format!("hist,{name},bucket{i},{c}\n"));
+            }
+        }
+        for (k, s) in &self.series {
+            let name = esc(k);
+            out.push_str(&format!("series,{name},period,{}\n", s.period));
+            for (i, p) in s.points.iter().enumerate() {
+                let mut pv = String::new();
+                json::write_f64(&mut pv, *p);
+                out.push_str(&format!("series,{name},p{i},{pv}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dump() -> StatsDump {
+        let mut h = Log2Histogram::new();
+        h.record_n(3, 90);
+        h.record_n(200, 10);
+        let mut s = TimeSeries::new(64);
+        s.push(1.0);
+        s.push(2.5);
+        let mut d = StatsDump { schema_version: SCHEMA_VERSION, ..StatsDump::default() };
+        d.meta.insert("bench".into(), "SCTR".into());
+        d.counters.insert("glock.0.grants".into(), 4096);
+        d.counters.insert("sim.cycles".into(), 123_456_789);
+        d.hists.insert("lock.0.handoff_cycles".into(), HistDump::from_hist(&h));
+        d.series.insert(
+            "noc.router.1_1.queue_depth".into(),
+            SeriesDump::from_series(&s),
+        );
+        d
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let d = sample_dump();
+        let enc = d.to_json();
+        let back = StatsDump::from_json(&enc).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn json_encoding_is_byte_stable() {
+        let a = sample_dump().to_json();
+        let b = sample_dump().to_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"schema_version\":1"));
+    }
+
+    #[test]
+    fn hist_dump_percentiles_match_source() {
+        let mut h = Log2Histogram::new();
+        h.record_n(3, 90);
+        h.record_n(200, 10);
+        let d = HistDump::from_hist(&h);
+        assert_eq!(d.percentile(0.5), h.percentile(0.5));
+        assert_eq!(d.percentile(0.99), h.percentile(0.99));
+        assert_eq!(d.mean(), h.mean());
+        let rebuilt = d.to_hist();
+        assert_eq!(rebuilt.count(), h.count());
+    }
+
+    #[test]
+    fn csv_lists_every_stat() {
+        let csv = sample_dump().to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,glock.0.grants,value,4096\n"));
+        assert!(csv.contains("hist,lock.0.handoff_cycles,count,100\n"));
+        assert!(csv.contains("series,noc.router.1_1.queue_depth,period,64\n"));
+        assert!(csv.contains("meta,bench,value,SCTR\n"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_bucket() {
+        let src = r#"{"schema_version":1,"meta":{},"counters":{},"hists":{"x":{"count":1,"sum":1,"min":1,"max":1,"buckets":[[99,1]]}},"series":{}}"#;
+        assert!(StatsDump::from_json(src).is_err());
+    }
+}

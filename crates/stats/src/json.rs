@@ -1,0 +1,403 @@
+//! A minimal, dependency-free JSON reader/writer.
+//!
+//! The workspace is built offline (no serde), and the stats subsystem
+//! needs both directions: deterministic encoding for byte-identical dumps
+//! and parsing for the `glocks-stats diff` regression gate. Numbers are
+//! kept as `f64` with an exactness carve-out for `u64` counters (stored
+//! losslessly as unsigned integer literals up to `2^63`, far beyond any
+//! cycle count a run produces).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys are sorted (`BTreeMap`), which also
+/// makes re-encoding deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integer literal (counters, cycle totals).
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+
+    /// Deterministic compact encoding.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escape and quote a string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encode an `f64` deterministically (shortest round-trip form via Rust's
+/// standard formatter; NaN/inf degrade to null, which JSON cannot carry).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // "{}" prints integral floats without a dot; keep them
+        // distinguishable from integer literals on re-parse is not
+        // required, but a trailing ".0" keeps the encoding stable.
+        if v.fract() == 0.0 && !out.ends_with(|c: char| c == '.' || !c.is_ascii_digit()) {
+            // only append when the formatter produced a bare integer
+            if !out[out.rfind(|c: char| !(c.is_ascii_digit() || c == '-')).map_or(0, |i| i + 1)..]
+                .contains('.')
+            {
+                out.push_str(".0");
+            }
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser { b: src.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.obj(),
+            Some(b'[') => self.arr(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        if !s.contains(['.', 'e', 'E']) {
+            if let Ok(u) = s.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {s:?} at offset {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected , or ] but found {other:?}")),
+            }
+        }
+    }
+
+    fn obj(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            out.insert(k, v);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected , or }} but found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_nested_document() {
+        let src = r#"{"a": [1, 2.5, -3], "b": {"x": "hi\nthere", "y": true}, "c": null}"#;
+        let v = parse(src).expect("parses");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0], Json::UInt(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("b").unwrap().get("x").unwrap().as_str(),
+            Some("hi\nthere")
+        );
+        let enc = v.encode();
+        assert_eq!(parse(&enc).expect("re-parses"), v);
+    }
+
+    #[test]
+    fn u64_counters_roundtrip_losslessly() {
+        let big = u64::MAX - 3;
+        let v = parse(&format!("{{\"n\": {big}}}")).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(big));
+        assert_eq!(v.encode(), format!("{{\"n\":{big}}}"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut s = String::new();
+        write_f64(&mut s, 3.0);
+        assert_eq!(s, "3.0");
+        let mut s = String::new();
+        write_f64(&mut s, 0.125);
+        assert_eq!(s, "0.125");
+        let mut s = String::new();
+        write_f64(&mut s, -2.0);
+        assert_eq!(s, "-2.0");
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_sorted() {
+        let mut m = BTreeMap::new();
+        m.insert("z".to_string(), Json::UInt(1));
+        m.insert("a".to_string(), Json::Bool(false));
+        let v = Json::Obj(m);
+        assert_eq!(v.encode(), r#"{"a":false,"z":1}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = Json::Str("a\"b\\c\u{1}".into());
+        assert_eq!(v.encode(), "\"a\\\"b\\\\c\\u0001\"");
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+    }
+}

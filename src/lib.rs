@@ -40,6 +40,7 @@ pub use glocks_mem as mem;
 pub use glocks_noc as noc;
 pub use glocks_sim as sim;
 pub use glocks_sim_base as sim_base;
+pub use glocks_stats as stats;
 pub use glocks_workloads as workloads;
 
 /// Commonly used items in one import.
