@@ -36,7 +36,7 @@ pub mod topology;
 
 pub use barrier::{BarrierRegs, GBarrierNetwork};
 pub use cost::GlockCost;
-pub use network::{GlockNetwork, GlockStats};
+pub use network::{GlockNetwork, GlockStats, NetworkHealth, DETECTION_ATTEMPTS};
 pub use node::RetryPolicy;
 pub use pool::{GlockPool, PoolDecision, PoolStats};
 pub use regs::GlockRegisters;

@@ -23,6 +23,7 @@
 //! physical locks gravitate to exactly the paper's "highly-contended
 //! locks", automatically and without programmer annotation.
 
+use crate::network::NetworkHealth;
 use crate::regs::GlockRegisters;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -48,6 +49,9 @@ pub struct PoolStats {
     pub spills: u64,
     /// Acquires served by hardware.
     pub hw_acquires: u64,
+    /// Acquires rerouted to software because their physical GLock died
+    /// mid-episode (hard-fault failover).
+    pub failovers: u64,
 }
 
 struct PoolState {
@@ -73,6 +77,9 @@ struct Binding {
 pub struct GlockPool {
     regs: Vec<Rc<GlockRegisters>>,
     state: RefCell<PoolState>,
+    /// Liveness handles of the physical networks (empty = all healthy,
+    /// the fault-free configuration).
+    healths: RefCell<Vec<Rc<NetworkHealth>>>,
 }
 
 impl GlockPool {
@@ -89,6 +96,7 @@ impl GlockPool {
                 heat: HashMap::new(),
                 stats: PoolStats::default(),
             }),
+            healths: RefCell::new(Vec::new()),
         })
     }
 
@@ -99,6 +107,23 @@ impl GlockPool {
     /// The register file of physical lock `k`.
     pub fn regs(&self, k: usize) -> Rc<GlockRegisters> {
         Rc::clone(&self.regs[k])
+    }
+
+    /// Attach the physical networks' liveness handles (index-aligned with
+    /// the register files). Without them every network is assumed healthy.
+    pub fn attach_healths(&self, healths: Vec<Rc<NetworkHealth>>) {
+        assert_eq!(healths.len(), self.regs.len(), "one health per physical lock");
+        *self.healths.borrow_mut() = healths;
+    }
+
+    /// Whether physical lock `k`'s G-line network has been declared dead.
+    pub fn is_dead(&self, k: usize) -> bool {
+        self.healths.borrow().get(k).is_some_and(|h| h.is_dead())
+    }
+
+    /// Count one mid-episode hardware→software failover.
+    pub fn note_failover(&self) {
+        self.state.borrow_mut().stats.failovers += 1;
     }
 
     /// A thread starts acquiring `logical`: pin (or establish) its binding
@@ -126,9 +151,10 @@ impl GlockPool {
         } else {
             // Quiesced: (re)decide. Preference order among free physical
             // locks: one reserved for us, an unreserved one, then one
-            // whose reservation we out-heat.
+            // whose reservation we out-heat. A dead network is permanently
+            // quarantined — never bound again.
             let candidate = (0..st.owner_of.len())
-                .filter(|&k| st.owner_of[k].is_none())
+                .filter(|&k| st.owner_of[k].is_none() && !self.is_dead(k))
                 .min_by_key(|&k| match st.reserved_for[k] {
                     Some(owner) if owner == logical => 0u32,
                     None => 1,
@@ -278,6 +304,35 @@ mod tests {
         p.end_release(6);
         p.end_release(5);
         assert_eq!(p.binding_of(5), None);
+    }
+
+    #[test]
+    fn dead_physical_lock_is_never_bound_again() {
+        let p = pool(2);
+        let healths: Vec<Rc<NetworkHealth>> =
+            (0..2).map(|_| Rc::new(NetworkHealth::default())).collect();
+        p.attach_healths(healths.clone());
+        assert_eq!(p.begin_acquire(1), PoolDecision::Hardware(0));
+        p.end_release(1);
+        // Physical 0 dies; even its own reservation holder cannot rebind.
+        healths[0].mark_dead(100);
+        assert!(p.is_dead(0) && !p.is_dead(1));
+        assert_eq!(p.begin_acquire(1), PoolDecision::Hardware(1));
+        assert_eq!(p.begin_acquire(2), PoolDecision::Software, "only one live physical left");
+        p.end_release(2);
+        p.end_release(1);
+        // Both dead: everything spills forever.
+        healths[1].mark_dead(200);
+        assert_eq!(p.begin_acquire(1), PoolDecision::Software);
+        p.end_release(1);
+    }
+
+    #[test]
+    fn failover_count_lands_in_stats() {
+        let p = pool(1);
+        p.note_failover();
+        p.note_failover();
+        assert_eq!(p.stats().failovers, 2);
     }
 
     #[test]

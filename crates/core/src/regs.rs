@@ -19,6 +19,12 @@ use std::rc::Rc;
 pub struct GlockRegisters {
     lock_req: Vec<Cell<bool>>,
     lock_rel: Vec<Cell<bool>>,
+    /// The core whose request was granted and whose release the
+    /// controller has not yet consumed. Updated atomically with the grant
+    /// delivery, so observers (invariant checker, failover drain) never
+    /// see a torn holder — unlike polling the core-side scripts, which
+    /// learn of a grant one resume later.
+    holder: Cell<Option<usize>>,
 }
 
 impl GlockRegisters {
@@ -26,6 +32,7 @@ impl GlockRegisters {
         Rc::new(GlockRegisters {
             lock_req: (0..n_cores).map(|_| Cell::new(false)).collect(),
             lock_rel: (0..n_cores).map(|_| Cell::new(false)).collect(),
+            holder: Cell::new(None),
         })
     }
 
@@ -53,9 +60,29 @@ impl GlockRegisters {
         self.lock_rel[core].get()
     }
 
+    /// The core currently granted on the hardware path, if any. On a dead
+    /// (quarantined) network the controller never consumes the holder's
+    /// release, so the holder stays set with `rel_pending(holder)` true
+    /// once its critical section ended — see [`Self::hw_drained`].
+    pub fn hw_holder(&self) -> Option<usize> {
+        self.holder.get()
+    }
+
+    /// Failover drain predicate: the hardware path holds nobody inside a
+    /// critical section. True when no grant is outstanding, or when the
+    /// grantee has already written its release (the controller of a dead
+    /// network will never consume it, but the critical section is over).
+    pub fn hw_drained(&self) -> bool {
+        match self.holder.get() {
+            None => true,
+            Some(h) => self.lock_rel[h].get(),
+        }
+    }
+
     /// Controller side: the grant — resets `lock_req`.
     pub(crate) fn grant(&self, core: usize) {
         self.lock_req[core].set(false);
+        self.holder.set(Some(core));
     }
 
     /// Controller side: consume a pending release, if any.
@@ -63,6 +90,9 @@ impl GlockRegisters {
         let v = self.lock_rel[core].get();
         if v {
             self.lock_rel[core].set(false);
+            if self.holder.get() == Some(core) {
+                self.holder.set(None);
+            }
         }
         v
     }
@@ -96,6 +126,25 @@ mod tests {
         assert!(r.take_rel(1));
         assert!(!r.rel_pending(1));
         assert!(!r.take_rel(1));
+    }
+
+    #[test]
+    fn holder_tracks_grant_to_release_consumption() {
+        let r = GlockRegisters::new(2);
+        assert_eq!(r.hw_holder(), None);
+        assert!(r.hw_drained());
+        r.set_req(1);
+        r.grant(1);
+        assert_eq!(r.hw_holder(), Some(1));
+        assert!(!r.hw_drained(), "grantee is inside its critical section");
+        // The grantee writes its release: drained even before (or without)
+        // the controller consuming it — the dead-network drain case.
+        r.set_rel(1);
+        assert!(r.hw_drained());
+        assert_eq!(r.hw_holder(), Some(1), "holder cleared only by the controller");
+        assert!(r.take_rel(1));
+        assert_eq!(r.hw_holder(), None);
+        assert!(r.hw_drained());
     }
 
     #[test]

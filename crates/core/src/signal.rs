@@ -56,6 +56,10 @@ pub struct Wires {
     sent: u64,
     dropped: u64,
     faults: Option<FaultInjector>,
+    /// Hard fault: the G-line segments are dead from this cycle on. Every
+    /// later transmission is lost and undelivered in-flight signals whose
+    /// arrival falls at or past the death cycle never arrive.
+    dead_from: Option<Cycle>,
 }
 
 impl Wires {
@@ -66,6 +70,19 @@ impl Wires {
     /// Subject every subsequent transmission to the injector's schedule.
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.faults = Some(faults);
+    }
+
+    /// Permanently kill the wires from cycle `at` on (hard fault). Signals
+    /// already in flight that would arrive at or after `at` are purged.
+    pub fn kill(&mut self, at: Cycle) {
+        self.dead_from = Some(at);
+        let before = self.in_flight.len();
+        self.in_flight.retain(|s| s.deliver_at < at);
+        self.dropped += (before - self.in_flight.len()) as u64;
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead_from.is_some()
     }
 
     /// Put a signal on a G-line at cycle `now`; it is visible to the
@@ -81,6 +98,12 @@ impl Wires {
         epoch: u64,
     ) {
         self.sent += 1;
+        if self.dead_from.is_some_and(|d| now >= d) {
+            // Driven onto dead metal: counts as a transmission (the sender
+            // spent the energy) but can never arrive.
+            self.dropped += 1;
+            return;
+        }
         let mut deliver_at = now + latency;
         if let Some(f) = self.faults.as_mut() {
             match f.decide() {
@@ -178,6 +201,27 @@ mod tests {
         assert!(got.is_empty(), "all transmissions were dropped");
         assert_eq!(w.signals_sent(), 20);
         assert_eq!(w.signals_dropped(), 20);
+    }
+
+    #[test]
+    fn killed_wires_purge_and_refuse() {
+        let mut w = Wires::new();
+        w.send(0, 1, Endpoint::Arb(0), Sig::Req, 0, 0); // arrives at 1
+        w.send(0, 10, Endpoint::Arb(0), Sig::Rel, 0, 2); // would arrive at 10
+        w.kill(5);
+        assert!(w.is_dead());
+        let mut got = Vec::new();
+        w.deliver_due(1, &mut got);
+        assert_eq!(got.len(), 1, "pre-death arrival still delivered");
+        got.clear();
+        w.deliver_due(100, &mut got);
+        assert!(got.is_empty(), "post-death arrival was purged");
+        w.send(6, 1, Endpoint::Arb(0), Sig::Req, 0, 0);
+        w.deliver_due(100, &mut got);
+        assert!(got.is_empty(), "sends onto dead wires are lost");
+        assert_eq!(w.signals_sent(), 3, "lost sends still drove the wire");
+        assert_eq!(w.signals_dropped(), 2);
+        assert!(w.is_idle());
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub struct Core {
     breakdown: Breakdown,
     finished_at: Option<Cycle>,
     progress_events: u64,
+    /// Permanent tile fault: from this cycle on the core is frozen — it
+    /// retires nothing and makes no progress. A halted core that still had
+    /// work wedges the run, and the watchdog escalates the wedge into a
+    /// structured diagnosis (failover applies to lock networks, not to the
+    /// computation a dead tile was carrying).
+    halt_at: Option<Cycle>,
 }
 
 impl Core {
@@ -89,7 +95,18 @@ impl Core {
             breakdown: Breakdown::default(),
             finished_at: None,
             progress_events: 0,
+            halt_at: None,
         }
+    }
+
+    /// Schedule a permanent tile fault: the core freezes at cycle `at`.
+    pub fn schedule_halt(&mut self, at: Cycle) {
+        self.halt_at = Some(self.halt_at.map_or(at, |h| h.min(at)));
+    }
+
+    /// True once a scheduled tile fault has frozen this core.
+    pub fn is_halted_at(&self, now: Cycle) -> bool {
+        self.halt_at.is_some_and(|h| now >= h)
     }
 
     pub fn id(&self) -> CoreId {
@@ -181,6 +198,11 @@ impl Core {
         tracker: &mut LockTracker,
     ) {
         if matches!(self.state, State::Finished) {
+            return;
+        }
+        if self.is_halted_at(now) {
+            // Dead tile: nothing retires, nothing is charged, and
+            // `progress_events` stops — exactly what the watchdog samples.
             return;
         }
         if matches!(self.state, State::WaitingMem) {
@@ -472,6 +494,36 @@ mod tests {
         for now in 0..100 {
             core.tick(now, &mut mem, &backends, &mut tracker);
         }
+    }
+
+    #[test]
+    fn halted_core_freezes_and_stops_progress() {
+        let cfg = CmpConfig::paper_baseline().with_cores(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let locks: Vec<Box<dyn LockBackend>> = vec![Box::new(FixedLock(4))];
+        let barrier = FixedBarrier(1);
+        let backends = Backends { locks: &locks, barrier: &barrier };
+        let mut tracker = LockTracker::new(1, 2);
+        let mut core = Core::new(
+            CoreId(0),
+            2,
+            Box::new(Scripted::new(vec![Action::Compute(10_000)])),
+        );
+        core.schedule_halt(50);
+        for now in 0..200 {
+            core.tick(now, &mut mem, &backends, &mut tracker);
+            mem.tick(now);
+        }
+        assert!(core.is_halted_at(200));
+        assert!(!core.is_finished(), "a dead tile never completes its work");
+        let frozen = core.progress_events();
+        let cycles = core.breakdown().total();
+        for now in 200..400 {
+            core.tick(now, &mut mem, &backends, &mut tracker);
+            mem.tick(now);
+        }
+        assert_eq!(core.progress_events(), frozen, "no progress after death");
+        assert_eq!(core.breakdown().total(), cycles, "no cycles attributed");
     }
 
     #[test]

@@ -172,6 +172,40 @@ impl LockTracker {
         self.locks[lock.index()].holder
     }
 
+    /// Oldest outstanding acquire on a lock, as `(thread, request cycle)` —
+    /// the runtime checker's raw material for bounded-waiting analysis.
+    pub fn oldest_request(&self, lock: LockId) -> Option<(ThreadId, Cycle)> {
+        self.locks[lock.index()]
+            .since
+            .iter()
+            .copied()
+            .min_by_key(|&(_, at)| at)
+    }
+
+    /// Non-panicking mutual-exclusion consistency scan for the runtime
+    /// protocol checker; the tracker's own asserts fire first for bugs in
+    /// this crate's bookkeeping, so a hit here means a lock backend
+    /// confused the holder/requester picture.
+    pub fn find_violation(&self) -> Option<String> {
+        for (i, l) in self.locks.iter().enumerate() {
+            if let Some(h) = l.holder {
+                if l.requesters.contains(&h) {
+                    return Some(format!(
+                        "lock {i}: holder {h:?} still listed as a requester"
+                    ));
+                }
+            }
+            if l.requesters.len() != l.since.len() {
+                return Some(format!(
+                    "lock {i}: {} requesters but {} request timestamps",
+                    l.requesters.len(),
+                    l.since.len()
+                ));
+            }
+        }
+        None
+    }
+
     /// Publish end-of-run per-lock totals into the stats registry (cheap
     /// no-op when stats are off; the live histograms record on the fly).
     pub fn publish_stats(&self) {

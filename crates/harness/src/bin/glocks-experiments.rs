@@ -5,9 +5,12 @@
 //!                    [--stats-json DIR] [--chrome-trace FILE] [--jobs N]
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
-//!           | table1 | table2 | table3 | table4 | ablations | multiprog | faults
+//!           | table1 | table2 | table3 | table4 | ablations | multiprog
+//!           | faults | chaos
 //! --quick            reduced input sizes (seconds instead of minutes)
 //! --threads N        CMP size for the main experiments (default 32)
+//! --watchdog-cycles N  override the no-forward-progress window for every
+//!                    run (cycles; 0 disables the watchdog)
 //! --csv DIR          additionally write each table as DIR/<experiment>.csv
 //! --stats-json DIR   record typed stats for every run and dump them as
 //!                    schema-versioned JSON into DIR, plus one
@@ -19,7 +22,7 @@
 //! ```
 
 use glocks_harness::{
-    ablation,
+    ablation, chaos,
     exp::{self, ExpOptions},
     faults, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4,
 };
@@ -38,6 +41,7 @@ struct Cli {
     stats_dir: Option<String>,
     chrome_trace: Option<String>,
     jobs: usize,
+    watchdog: Option<u64>,
 }
 
 fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
@@ -60,6 +64,9 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
         exp::set_stats_dir(Some(dir));
         exp::set_stats_context(name);
     }
+    // Thread-local, so it must be applied here (inside the worker thread
+    // under `--jobs`), not once in main.
+    exp::set_watchdog_cycles(cli.watchdog);
     if cli.chrome_trace.is_some() {
         trace::enable(TraceMask::ALL, TRACE_CAP);
     }
@@ -142,6 +149,11 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
             writeln!(out, "{}", t.render()).unwrap();
             write_csv(csv_dir, "faults", &t);
         }
+        "chaos" => {
+            let t = chaos::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "chaos", &t);
+        }
         "multiprog" => {
             let t = multiprog::run_study(opts);
             writeln!(out, "{}", t.render()).unwrap();
@@ -183,6 +195,7 @@ fn main() {
         stats_dir: None,
         chrome_trace: None,
         jobs: 1,
+        watchdog: None,
     };
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -218,9 +231,17 @@ fn main() {
                     .filter(|n| *n >= 1)
                     .expect("--jobs needs a number >= 1");
             }
+            "--watchdog-cycles" => {
+                i += 1;
+                cli.watchdog = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--watchdog-cycles needs a number of cycles"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|stats]... [--quick] [--threads N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N]"
                 );
                 return;
             }
@@ -231,7 +252,7 @@ fn main() {
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = [
             "table1", "table2", "table3", "fig1", "fig7", "fig8", "table4", "fig9", "fig10",
-            "ablations", "multiprog", "faults",
+            "ablations", "multiprog", "faults", "chaos",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -1,0 +1,177 @@
+//! Permanent-fault (chaos) sweep — survivability study beyond the paper.
+//!
+//! Where [`crate::faults`] injects *transient* signal loss that the
+//! hardened protocol retries through, this sweep kills components
+//! *permanently* mid-run and demands graceful degradation:
+//!
+//! * **kill-glock-nets** — every G-line lock network dies at a
+//!   seed-deterministic cycle inside the kill window. Failure detection
+//!   (exhausted retransmission budgets) must quarantine the dead hardware,
+//!   drain the pre-death grantee, and replay every stranded acquire on the
+//!   TATAS software fallback: the run completes with the *exact* fault-free
+//!   acquire count and final memory image.
+//! * **tile-death** — a core (and its router) dies outright. That work is
+//!   unrecoverable by design, so the correct outcome is a fast, structured
+//!   [`glocks_sim::SimError`] naming the frozen core — not a silent hang.
+//!
+//! The runtime protocol invariant checker rides along on every row:
+//! mutual exclusion, token uniqueness, bounded waiting, and MESI
+//! compatibility are validated throughout the dying run. A violation would
+//! surface as an `invariant-violation` row.
+
+use crate::exp::{effective_watchdog, ExpOptions};
+use glocks_locks::LockAlgorithm;
+use glocks_sim::{CheckerConfig, LockMapping, Simulation, SimulationOptions};
+use glocks_sim_base::fault::{FaultPlan, HardFault, HardFaultTarget};
+use glocks_sim_base::table::TextTable;
+use glocks_sim_base::CmpConfig;
+use glocks_workloads::BenchKind;
+
+/// Seed for the published sweep — reproduce any row with
+/// `FaultPlan::seeded(CHAOS_SEED)` and the row's kill schedule.
+pub const CHAOS_SEED: u64 = 0xC4A0;
+
+/// The kill window, in cycles: every GLock network dies at a
+/// seed-deterministic cycle in `[EARLIEST_KILL, LATEST_KILL]`, early enough
+/// that plenty of critical sections still lie ahead of the failover.
+pub const EARLIEST_KILL: u64 = 1_000;
+pub const LATEST_KILL: u64 = 5_000;
+
+pub fn run(opts: &ExpOptions) -> TextTable {
+    let mut t = TextTable::new(
+        "Chaos — SCTR under GLocks with permanent hardware deaths",
+    )
+    .header(["scenario", "outcome", "cycles", "acquires", "failovers", "checks"]);
+
+    // Fault-free reference: the acquire count every survivable scenario
+    // must reproduce exactly.
+    let clean_acquires = row(&mut t, opts, "fault-free", None);
+
+    // Kill every G-line lock network mid-run.
+    let mut plan = FaultPlan::seeded(CHAOS_SEED);
+    plan.kill_all_glock_networks(1, EARLIEST_KILL, LATEST_KILL);
+    let survived = row(&mut t, opts, "kill-glock-nets", Some(plan));
+    if let (Some(clean), Some(after)) = (clean_acquires, survived) {
+        assert_eq!(
+            clean, after,
+            "failover lost or double-granted acquires ({clean} clean vs {after})"
+        );
+    }
+
+    // A whole tile dies: structured wedge, not a hang.
+    let mut plan = FaultPlan::seeded(CHAOS_SEED);
+    plan.hard.push(HardFault {
+        at_cycle: EARLIEST_KILL,
+        target: HardFaultTarget::Tile { core: 1 },
+    });
+    row(&mut t, opts, "tile-death", Some(plan));
+    t
+}
+
+/// Run one scenario and append its row; returns the acquire count when the
+/// run completed.
+fn row(
+    t: &mut TextTable,
+    opts: &ExpOptions,
+    scenario: &str,
+    plan: Option<FaultPlan>,
+) -> Option<u64> {
+    let bench = opts.bench(BenchKind::Sctr);
+    let inst = bench.build();
+    let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
+    let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
+    let survivable = plan.as_ref().is_none_or(|p| {
+        !p.hard
+            .iter()
+            .any(|h| matches!(h.target, HardFaultTarget::Tile { .. }))
+    });
+    let mut sim_opts = SimulationOptions {
+        fault_plan: plan,
+        checker: Some(CheckerConfig::default()),
+        ..Default::default()
+    };
+    // Survivable scenarios keep the full window (failure detection alone
+    // takes ~50k cycles of retransmission backoff); a dead tile should be
+    // diagnosed fast.
+    if !survivable {
+        sim_opts.watchdog_cycles = 100_000;
+    }
+    sim_opts.watchdog_cycles = effective_watchdog(&sim_opts);
+    // Before `Simulation::new`: components register their histograms in
+    // their constructors, so the session must already be open.
+    let session = crate::exp::open_stats_session(
+        &format!("SCTR_GLock_{scenario}_{}t", bench.threads),
+        &[
+            ("bench", "SCTR"),
+            ("lock", "GLock"),
+            ("scenario", scenario),
+        ],
+    );
+    let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, sim_opts);
+    match sim.run() {
+        Ok((report, mem)) => {
+            (inst.verify)(mem.store()).expect("surviving a chaos schedule means *correctly*");
+            let stat = |k: &str| {
+                report
+                    .stats
+                    .as_ref()
+                    .and_then(|d| d.counters.get(k).copied())
+                    .map_or_else(|| "-".to_string(), |v| v.to_string())
+            };
+            let failovers = stat("sim.failovers");
+            let checks = stat("checker.checks_run");
+            if let Some(s) = session {
+                s.finish(&report);
+            }
+            let acquires = report.acquires[0];
+            t.row([
+                scenario.to_string(),
+                "completed".to_string(),
+                report.cycles.to_string(),
+                acquires.to_string(),
+                failovers,
+                checks,
+            ]);
+            Some(acquires)
+        }
+        Err(e) => {
+            if let Some(s) = session {
+                s.abort();
+            }
+            assert!(
+                !survivable,
+                "a survivable chaos scenario must complete, got: {e}"
+            );
+            t.row([
+                scenario.to_string(),
+                e.kind().to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_sweep_survives_network_death_and_diagnoses_tile_death() {
+        let opts = ExpOptions { quick: true, threads: 8 };
+        let t = run(&opts);
+        assert_eq!(t.n_rows(), 3);
+        let csv = t.to_csv();
+        let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        assert_eq!(rows[0][1], "completed");
+        assert_eq!(rows[1][1], "completed", "network death must be survived");
+        assert_eq!(
+            rows[0][3], rows[1][3],
+            "failover must preserve the exact acquire count"
+        );
+        assert_eq!(rows[2][1], "no-forward-progress", "tile death is a diagnosed wedge");
+    }
+}

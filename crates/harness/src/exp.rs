@@ -13,6 +13,9 @@ thread_local! {
     static STATS_CTX: RefCell<String> = const { RefCell::new(String::new()) };
     /// Per-context sequence number so repeated configs get distinct files.
     static STATS_SEQ: Cell<u64> = const { Cell::new(0) };
+    /// Watchdog-window override for subsequent runs on this thread
+    /// (`None` = each driver's own choice stands).
+    static WATCHDOG: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Direct every subsequent [`run_bench`] on *this thread* to record typed
@@ -28,6 +31,20 @@ pub fn set_stats_dir(dir: Option<&str>) {
 pub fn set_stats_context(ctx: &str) {
     STATS_CTX.with(|c| *c.borrow_mut() = ctx.to_string());
     STATS_SEQ.with(|s| s.set(0));
+}
+
+/// Override the wedge watchdog window (in cycles, 0 = off) for every
+/// subsequent run on *this* thread — the `--watchdog-cycles` harness flag.
+/// `None` restores each driver's own choice (the simulator default is
+/// [`SimulationOptions::default`]'s 2M cycles). Thread-local like
+/// [`set_stats_dir`], so `--jobs` workers each apply it independently.
+pub fn set_watchdog_cycles(cycles: Option<u64>) {
+    WATCHDOG.with(|w| w.set(cycles));
+}
+
+/// The watchdog window [`run_bench_with`] will actually use for `options`.
+pub fn effective_watchdog(options: &SimulationOptions) -> u64 {
+    WATCHDOG.with(|w| w.get()).unwrap_or(options.watchdog_cycles)
 }
 
 /// Make a label safe for a filename (`MP-Lock` stays, `MCS/32` would not).
@@ -146,8 +163,9 @@ pub fn run_bench(bench: &BenchConfig, mapping: &LockMapping) -> Result<RunResult
 pub fn run_bench_with(
     bench: &BenchConfig,
     mapping: &LockMapping,
-    options: SimulationOptions,
+    mut options: SimulationOptions,
 ) -> Result<RunResult, SimError> {
+    options.watchdog_cycles = effective_watchdog(&options);
     let session = open_stats_session(
         &format!("{}_{}_{}t", bench.kind.name(), mapping.label(), bench.threads),
         &[
@@ -241,6 +259,17 @@ mod tests {
         assert!(parsed.counters.contains_key("sim.cycles"));
         assert!(!glocks_stats::is_enabled(), "session closed after the run");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_override_is_revertible() {
+        let opts = SimulationOptions::default();
+        let default = opts.watchdog_cycles;
+        assert_eq!(effective_watchdog(&opts), default);
+        set_watchdog_cycles(Some(123));
+        assert_eq!(effective_watchdog(&opts), 123);
+        set_watchdog_cycles(None);
+        assert_eq!(effective_watchdog(&opts), default);
     }
 
     #[test]

@@ -41,6 +41,9 @@ enum AcqPhase {
     Consult,
     GlockSet(usize),
     GlockSpin(usize),
+    /// The bound physical network died mid-episode: wait for its hardware
+    /// path to drain before entering the software fallback.
+    DrainWait(usize),
     Fallback,
 }
 
@@ -52,6 +55,18 @@ struct DynAcquire {
     /// Pre-built software-fallback acquire (used only on a spill).
     inner: Box<dyn Script>,
     path_out: Rc<Cell<Option<PoolDecision>>>,
+}
+
+impl DynAcquire {
+    /// Abandon a dead physical lock: the release must take the software
+    /// path, and survivors may only enter it once the dead network's
+    /// pre-death grantee has left its critical section.
+    fn fail_over(&mut self, k: usize) -> Step {
+        self.pool.note_failover();
+        self.path_out.set(Some(PoolDecision::Software));
+        self.phase = AcqPhase::DrainWait(k);
+        Step::Compute(1)
+    }
 }
 
 impl Script for DynAcquire {
@@ -67,15 +82,32 @@ impl Script for DynAcquire {
                 Step::Compute(POOL_CONSULT_INSTRS)
             }
             AcqPhase::GlockSet(k) => {
+                if self.pool.is_dead(k) {
+                    // The binding is pinned to a network that died; every
+                    // thread of this episode converges on the fallback.
+                    return self.fail_over(k);
+                }
                 self.pool.regs(k).set_req(self.tid.index());
                 self.phase = AcqPhase::GlockSpin(k);
                 Step::Compute(1)
             }
             AcqPhase::GlockSpin(k) => {
-                if self.pool.regs(k).req_pending(self.tid.index()) {
-                    Step::Compute(1)
+                if !self.pool.regs(k).req_pending(self.tid.index()) {
+                    // Granted — final even if the verdict landed this
+                    // cycle (quarantine freezes register state).
+                    return Step::Done;
+                }
+                if self.pool.is_dead(k) {
+                    return self.fail_over(k);
+                }
+                Step::Compute(1)
+            }
+            AcqPhase::DrainWait(k) => {
+                if self.pool.regs(k).hw_drained() {
+                    self.phase = AcqPhase::Fallback;
+                    self.inner.resume(last)
                 } else {
-                    Step::Done
+                    Step::Compute(1)
                 }
             }
             AcqPhase::Fallback => self.inner.resume(last),

@@ -1,0 +1,333 @@
+//! GLock→software failover (survivability layer, beyond the paper).
+//!
+//! [`FailoverGlockBackend`] wraps the hardware GLock driver of
+//! [`crate::glock_backend`] with a permanent-fault escape hatch. While the
+//! G-line network is healthy its scripts are **step-identical** to
+//! [`crate::glock_backend::GlockBackend`] — same register writes, same
+//! one-cycle spin cadence — so fault-free timing, signal counts and energy
+//! stay paper-exact. When the network's [`NetworkHealth`] flips to dead
+//! (failure detection: exhausted retransmission budgets), every thread
+//! converges onto a TATAS software fallback in the lock's private memory
+//! region:
+//!
+//! 1. **Quarantine.** A dead network never delivers another signal, so the
+//!    grant state frozen in the register file at the verdict cycle is
+//!    final: a spinning thread whose `lock_req` is still set will *never*
+//!    be granted; one whose flag was reset *was* granted and owns the
+//!    critical section.
+//! 2. **Drain.** Threads abandoning the hardware path wait until
+//!    [`GlockRegisters::hw_drained`]: the pre-death grantee (if any) has
+//!    written `lock_rel`, i.e. left its critical section. The controller
+//!    of a dead network will never consume that release — the register
+//!    write itself is the drain signal.
+//! 3. **Replay.** Each abandoned mid-acquire is replayed on the software
+//!    path *inside the same acquire script*, so the core's lock tracker
+//!    observes exactly one successful acquire per critical section — no
+//!    lost and no double-granted acquires.
+//!
+//! Mutual exclusion across the transition: the software lock starts free
+//! and is only entered after `hw_drained()`, and the hardware path can no
+//! longer grant anyone (quarantine), so no thread on the dead hardware
+//! path can ever hold the lock concurrently with a software-path holder.
+
+use crate::tatas::TatasLock;
+use glocks::network::NetworkHealth;
+use glocks::GlockRegisters;
+use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::{Addr, ThreadId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Which path a thread's current tenure is on (drives its release).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Path {
+    Hardware,
+    Software,
+}
+
+/// Hardware GLock with software failover for statically-mapped locks.
+pub struct FailoverGlockBackend {
+    regs: Rc<GlockRegisters>,
+    health: Rc<NetworkHealth>,
+    fallback: TatasLock,
+    /// Which path each thread's in-flight acquire resolved to, consumed by
+    /// its release (same scheme as the dynamic backend's decision cells).
+    path: Vec<Rc<Cell<Option<Path>>>>,
+    /// Acquires rerouted to the software path because the network died.
+    failovers: Rc<Cell<u64>>,
+}
+
+impl FailoverGlockBackend {
+    /// `base` is the lock's private memory region (unused by the hardware
+    /// path; hosts the TATAS fallback word).
+    pub fn new(
+        regs: Rc<GlockRegisters>,
+        health: Rc<NetworkHealth>,
+        base: Addr,
+        n_threads: usize,
+    ) -> Self {
+        FailoverGlockBackend {
+            regs,
+            health,
+            fallback: TatasLock::tatas(base),
+            path: (0..n_threads).map(|_| Rc::new(Cell::new(None))).collect(),
+            failovers: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Shared handle to the failover counter (published as `sim.failovers`).
+    pub fn failover_count(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.failovers)
+    }
+}
+
+enum AcqPhase {
+    /// Healthy fast path, step-identical to `GlockBackend`: write
+    /// `lock_req`, then spin.
+    SetReq,
+    Spin,
+    /// The network died: wait for the hardware path to drain.
+    DrainWait,
+    /// Replay on the software fallback.
+    Fallback,
+}
+
+struct FoAcquire {
+    regs: Rc<GlockRegisters>,
+    health: Rc<NetworkHealth>,
+    core: usize,
+    phase: AcqPhase,
+    inner: Box<dyn Script>,
+    path_out: Rc<Cell<Option<Path>>>,
+    failovers: Rc<Cell<u64>>,
+}
+
+impl FoAcquire {
+    fn fail_over(&mut self) -> Step {
+        self.failovers.set(self.failovers.get() + 1);
+        self.path_out.set(Some(Path::Software));
+        self.phase = AcqPhase::DrainWait;
+        // Observing the dead flag costs the same branch the spin did.
+        Step::Compute(1)
+    }
+}
+
+impl Script for FoAcquire {
+    fn resume(&mut self, last: u64) -> Step {
+        match self.phase {
+            AcqPhase::SetReq => {
+                if self.health.is_dead() {
+                    return self.fail_over();
+                }
+                self.path_out.set(Some(Path::Hardware));
+                self.regs.set_req(self.core);
+                self.phase = AcqPhase::Spin;
+                // mov 1, lock_req
+                Step::Compute(1)
+            }
+            AcqPhase::Spin => {
+                if !self.regs.req_pending(self.core) {
+                    // Granted — also reachable when the grant landed in
+                    // the same cycle as the death verdict: quarantine
+                    // freezes register state, so a reset flag is always a
+                    // real grant and this thread owns the lock.
+                    return Step::Done;
+                }
+                if self.health.is_dead() {
+                    // Our REQ can never be answered: abandon and replay.
+                    return self.fail_over();
+                }
+                // bnz lock_req, loop
+                Step::Compute(1)
+            }
+            AcqPhase::DrainWait => {
+                if self.regs.hw_drained() {
+                    self.phase = AcqPhase::Fallback;
+                    self.inner.resume(last)
+                } else {
+                    Step::Compute(1)
+                }
+            }
+            AcqPhase::Fallback => self.inner.resume(last),
+        }
+    }
+}
+
+struct FoRelease {
+    regs: Rc<GlockRegisters>,
+    core: usize,
+    /// `Some` only on the software path.
+    inner: Option<Box<dyn Script>>,
+    done: bool,
+}
+
+impl Script for FoRelease {
+    fn resume(&mut self, last: u64) -> Step {
+        if let Some(inner) = self.inner.as_mut() {
+            return inner.resume(last);
+        }
+        // Hardware path: identical to `GlockRelease`. On a dead network
+        // the controller never consumes the flag, but the write itself is
+        // the drain signal the failed-over waiters are watching.
+        if self.done {
+            Step::Done
+        } else {
+            self.done = true;
+            self.regs.set_rel(self.core);
+            // mov 1, lock_rel
+            Step::Compute(1)
+        }
+    }
+}
+
+impl LockBackend for FailoverGlockBackend {
+    fn acquire(&self, tid: ThreadId) -> Box<dyn Script> {
+        Box::new(FoAcquire {
+            regs: Rc::clone(&self.regs),
+            health: Rc::clone(&self.health),
+            core: tid.index(),
+            phase: AcqPhase::SetReq,
+            inner: self.fallback.acquire(tid),
+            path_out: Rc::clone(&self.path[tid.index()]),
+            failovers: Rc::clone(&self.failovers),
+        })
+    }
+
+    fn release(&self, tid: ThreadId) -> Box<dyn Script> {
+        let path = self.path[tid.index()]
+            .take()
+            .expect("release without a recorded acquire path");
+        Box::new(FoRelease {
+            regs: Rc::clone(&self.regs),
+            core: tid.index(),
+            inner: matches!(path, Path::Software).then(|| self.fallback.release(tid)),
+            done: false,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "GLock+FO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::run_counter_bench_with_nets;
+    use glocks::{GlockNetwork, Topology};
+    use glocks_sim_base::{Addr, Mesh2D};
+
+    #[test]
+    fn healthy_failover_backend_is_step_identical_to_glock() {
+        // Same workload on GlockBackend and FailoverGlockBackend with no
+        // fault: identical cycle counts, identical signal counts.
+        let mesh = Mesh2D::near_square(8);
+
+        let net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        let regs = net.regs();
+        let mut nets = [net];
+        let plain = run_counter_bench_with_nets(
+            move |_base, _n| {
+                Box::new(crate::glock_backend::GlockBackend::new(Rc::clone(&regs))) as _
+            },
+            8,
+            4,
+            &mut nets,
+        );
+        let [net] = nets;
+        let plain_signals = net.stats().signals;
+
+        let net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        let regs = net.regs();
+        let health = net.health();
+        let mut nets = [net];
+        let fo = run_counter_bench_with_nets(
+            move |base, n| {
+                Box::new(FailoverGlockBackend::new(
+                    Rc::clone(&regs),
+                    Rc::clone(&health),
+                    base,
+                    n,
+                )) as _
+            },
+            8,
+            4,
+            &mut nets,
+        );
+        let [net] = nets;
+        assert_eq!(fo.counter_value, plain.counter_value);
+        assert_eq!(fo.cycles, plain.cycles, "healthy path must be cycle-exact");
+        assert_eq!(net.stats().signals, plain_signals, "and signal-exact");
+        assert_eq!(net.stats().grants, 32);
+    }
+
+    #[test]
+    fn mid_run_line_kill_fails_over_with_no_lost_acquires() {
+        let threads = 8;
+        let iters = 6;
+        let mesh = Mesh2D::near_square(threads);
+        let mut net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        // Die early, mid-contention: some threads hold, others spin.
+        net.schedule_line_kill(40);
+        let regs = net.regs();
+        let health = net.health();
+        let h2 = Rc::clone(&health);
+        let failovers: Rc<std::cell::RefCell<Rc<Cell<u64>>>> =
+            Rc::new(std::cell::RefCell::new(Rc::new(Cell::new(0))));
+        let f2 = Rc::clone(&failovers);
+        let mut nets = [net];
+        let out = run_counter_bench_with_nets(
+            move |base, n| {
+                let b = FailoverGlockBackend::new(Rc::clone(&regs), Rc::clone(&h2), base, n);
+                *f2.borrow_mut() = b.failover_count();
+                Box::new(b) as _
+            },
+            threads,
+            iters,
+            &mut nets,
+        );
+        // Every critical section executed exactly once despite the death.
+        assert_eq!(out.counter_value, threads as u64 * iters);
+        assert!(health.is_dead(), "the kill must have been detected");
+        let fo_count = failovers.borrow().get();
+        assert!(fo_count > 0, "some acquires must have failed over");
+        let [net] = nets;
+        // The dead network granted only pre-death tenures.
+        assert!(net.stats().grants < threads as u64 * iters);
+        assert!(net.token_invariant_violation().is_none());
+    }
+
+    #[test]
+    fn kill_before_first_acquire_runs_entirely_on_software() {
+        let threads = 4;
+        let mesh = Mesh2D::near_square(threads);
+        let mut net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        net.schedule_line_kill(0);
+        let regs = net.regs();
+        let health = net.health();
+        let h2 = Rc::clone(&health);
+        let mut nets = [net];
+        let out = run_counter_bench_with_nets(
+            move |base, n| {
+                Box::new(FailoverGlockBackend::new(Rc::clone(&regs), Rc::clone(&h2), base, n))
+                    as _
+            },
+            threads,
+            3,
+            &mut nets,
+        );
+        assert_eq!(out.counter_value, 12);
+        let [net] = nets;
+        assert!(net.stats().grants < 12, "hardware cannot serve all tenures");
+    }
+
+    #[test]
+    fn release_without_acquire_panics() {
+        let net = GlockNetwork::new(&Topology::flat(Mesh2D::new(2, 2)), 1);
+        let b = FailoverGlockBackend::new(net.regs(), net.health(), Addr(0x1000), 4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.release(ThreadId(0))
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`ideal`] — the zero-latency, zero-traffic ideal lock of Figure 1;
 //! * [`glock_backend`] — the core-side driver of the hardware GLock
 //!   (Figure 5: a register write plus a busy-wait on `lock_req`);
+//! * [`failover`] — the GLock driver wrapped with permanent-fault
+//!   detection and failover onto TATAS (survivability, beyond the paper);
 //! * [`barrier`] — a sense-versioned combining-tree barrier (the
 //!   applications' library barrier: at most two threads meet at any node).
 //!
@@ -23,6 +25,7 @@
 pub mod anderson;
 pub mod barrier;
 pub mod dynamic;
+pub mod failover;
 pub mod gbarrier_backend;
 pub mod glock_backend;
 pub mod ideal;

@@ -1,0 +1,185 @@
+//! Property tests for the Reactive lock's protocol-switching safety.
+//!
+//! The adaptation rule is only sound because `decide()` refuses to change
+//! protocol while any acquire is outstanding: a switch mid-episode would
+//! let a TATAS acquirer and an MCS acquirer both enter the critical
+//! section. These tests run the backend's scripts under a randomly
+//! scheduled interleaving against an emulated word store and assert both
+//! the quiescence rule and mutual exclusion itself.
+
+use glocks_cpu::{LockBackend, Script, Step};
+use glocks_locks::reactive::{Mode, ReactiveBackend};
+use glocks_mem::MemOp;
+use glocks_sim_base::{Addr, SplitMix64, ThreadId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Minimal functional memory: enough to execute lock scripts exactly
+/// (loads, stores, and atomics via [`glocks_mem::RmwKind::apply`]).
+#[derive(Default)]
+struct Store(HashMap<u64, u64>);
+
+impl Store {
+    /// Perform `op`, returning the value the script's next `resume` sees.
+    fn exec(&mut self, op: MemOp) -> u64 {
+        match op {
+            MemOp::Load(a) => *self.0.get(&a.word().0).unwrap_or(&0),
+            MemOp::Store(a, v) => {
+                self.0.insert(a.word().0, v);
+                0
+            }
+            MemOp::Rmw(a, kind) => {
+                let old = *self.0.get(&a.word().0).unwrap_or(&0);
+                let (new, ret) = kind.apply(old);
+                self.0.insert(a.word().0, new);
+                ret
+            }
+        }
+    }
+}
+
+enum ThreadState {
+    Idle,
+    Acquiring(Box<dyn Script>),
+    Holding,
+    Releasing(Box<dyn Script>),
+}
+
+struct Outcome {
+    switches: u64,
+    /// Every protocol switch happened with no other acquire outstanding.
+    switch_safe: bool,
+    /// At most one thread ever held the lock.
+    exclusive: bool,
+    /// Critical sections completed.
+    sections: u64,
+}
+
+/// Run `steps` randomly scheduled script steps over `n_threads` contenders.
+/// The schedule alternates busy epochs (everyone may start an acquire) and
+/// calm epochs (only thread 0 may) so the backend sees both pile-ups and
+/// genuine quiescence — the regime where switches are allowed.
+fn drive(seed: u64, n_threads: usize, steps: usize) -> Outcome {
+    let b = ReactiveBackend::new(Addr(0x20_000), n_threads);
+    let mut store = Store::default();
+    let mut rng = SplitMix64::new(seed);
+    let mut threads: Vec<(ThreadState, u64)> =
+        (0..n_threads).map(|_| (ThreadState::Idle, 0)).collect();
+    let mut outstanding = 0usize;
+    let mut holders = 0usize;
+    let mut out = Outcome { switches: 0, switch_safe: true, exclusive: true, sections: 0 };
+    for step in 0..steps {
+        let calm = (step / 512) % 2 == 1;
+        let t = rng.next_below(n_threads as u64) as usize;
+        let (state, last) = &mut threads[t];
+        match state {
+            ThreadState::Idle if calm && t != 0 => {}
+            ThreadState::Idle => {
+                let before = b.inner().current_mode();
+                let script = b.acquire(ThreadId(t as u16));
+                // `decide()` ran inside `acquire`; a mode change there is
+                // only legal when this acquire found the lock quiescent.
+                if b.inner().current_mode() != before && outstanding != 0 {
+                    out.switch_safe = false;
+                }
+                outstanding += 1;
+                *state = ThreadState::Acquiring(script);
+                *last = 0;
+            }
+            ThreadState::Acquiring(script) => match script.resume(*last) {
+                Step::Done => {
+                    holders += 1;
+                    if holders > 1 {
+                        out.exclusive = false;
+                    }
+                    *state = ThreadState::Holding;
+                }
+                Step::Mem(op) => *last = store.exec(op),
+                Step::Compute(_) => *last = 0,
+            },
+            ThreadState::Holding => {
+                holders -= 1;
+                out.sections += 1;
+                *state = ThreadState::Releasing(b.release(ThreadId(t as u16)));
+                *last = 0;
+            }
+            ThreadState::Releasing(script) => match script.resume(*last) {
+                Step::Done => {
+                    outstanding -= 1;
+                    *state = ThreadState::Idle;
+                }
+                Step::Mem(op) => *last = store.exec(op),
+                Step::Compute(_) => *last = 0,
+            },
+        }
+    }
+    out.switches = b.inner().switches();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn switches_respect_quiescence_and_exclusion(
+        seed in any::<u64>(),
+        n_threads in 2usize..9,
+        steps in 50usize..2000,
+    ) {
+        let out = drive(seed, n_threads, steps);
+        prop_assert!(out.switch_safe, "protocol switched while acquires were outstanding");
+        prop_assert!(out.exclusive, "two threads held the lock at once");
+    }
+}
+
+#[test]
+fn long_random_runs_switch_and_make_progress() {
+    // Across a spread of seeds the random schedule must both hit protocol
+    // switches (the EWMA crosses a water mark somewhere) and keep
+    // completing critical sections afterwards — switching never wedges.
+    let mut total_switches = 0;
+    for seed in 0..8 {
+        let out = drive(seed, 8, 20_000);
+        assert!(out.switch_safe && out.exclusive);
+        assert!(out.sections > 100, "seed {seed}: only {} sections", out.sections);
+        total_switches += out.switches;
+    }
+    assert!(total_switches >= 1, "no schedule ever exercised a protocol switch");
+}
+
+#[test]
+fn bursty_contention_switches_both_ways() {
+    // Deterministic burst/calm phases: 8 simultaneous acquirers push the
+    // EWMA over the high water mark (TATAS → MCS); a long solo phase
+    // decays it back under the low water mark (MCS → TATAS).
+    let b = ReactiveBackend::new(Addr(0x30_000), 8);
+    let mut store = Store::default();
+    let mut run_to_done = |script: &mut Box<dyn Script>| {
+        let mut last = 0;
+        for _ in 0..10_000 {
+            match script.resume(last) {
+                Step::Done => return,
+                Step::Mem(op) => last = store.exec(op),
+                Step::Compute(_) => last = 0,
+            }
+        }
+        panic!("script did not finish");
+    };
+    assert_eq!(b.inner().current_mode(), Mode::Tatas);
+    for _ in 0..4 {
+        // All 8 start acquiring at once (this is what drives the EWMA up),
+        // then the sections run to completion one at a time.
+        let mut scripts: Vec<_> = (0..8).map(|t| b.acquire(ThreadId(t))).collect();
+        for (t, acq) in scripts.iter_mut().enumerate() {
+            run_to_done(acq);
+            run_to_done(&mut b.release(ThreadId(t as u16)));
+        }
+    }
+    assert_eq!(b.inner().current_mode(), Mode::Mcs, "burst must escalate to MCS");
+    for _ in 0..32 {
+        run_to_done(&mut b.acquire(ThreadId(0)));
+        run_to_done(&mut b.release(ThreadId(0)));
+    }
+    assert_eq!(b.inner().current_mode(), Mode::Tatas, "solo phase must relax to TATAS");
+    assert!(b.inner().switches() >= 2);
+}

@@ -200,6 +200,20 @@ impl MemorySystem {
         }
     }
 
+    /// Schedule a permanent NoC router fault (see
+    /// [`MeshNoc::schedule_router_kill`]): from cycle `at` every packet
+    /// through `tile`'s router is lost. The coherence protocol has no
+    /// retransmission layer, so transactions through the dead router wedge
+    /// and the runner's watchdog escalates with this diagnosis.
+    pub fn schedule_router_kill(&mut self, tile: TileId, at: Cycle) {
+        self.net.schedule_router_kill(tile, at);
+    }
+
+    /// Cycle at which `tile`'s router died, if a scheduled kill has fired.
+    pub fn router_dead_at(&self, tile: TileId) -> Option<Cycle> {
+        self.net.router_dead_at(tile)
+    }
+
     /// Snapshot of in-flight state for wedge diagnostics.
     pub fn diag(&self) -> MemDiag {
         MemDiag {
@@ -263,7 +277,17 @@ impl MemorySystem {
     }
 
     /// Check the MESI system invariants; panics with a description if one
-    /// is violated. Intended for tests (called every N cycles).
+    /// is violated. Intended for tests (called every N cycles). The
+    /// non-panicking flavor is [`Self::find_invariant_violation`], used by
+    /// the runtime protocol checker to produce a structured `SimError`.
+    pub fn check_invariants(&self) {
+        if let Some(v) = self.find_invariant_violation() {
+            panic!("{v}");
+        }
+    }
+
+    /// Scan the MESI system invariants; returns a description of the first
+    /// violation found, or `None` when the hierarchy is coherent.
     ///
     /// * At most one L1 holds a line in M or E, and then no other L1 holds
     ///   it at all — true at *every* cycle.
@@ -273,7 +297,7 @@ impl MemorySystem {
     ///   in flight (network idle and the involved L1 not mid-transaction),
     ///   since e.g. a sent `GrantM` updates the directory to Owned while
     ///   the requester still holds S until the grant is delivered.
-    pub fn check_invariants(&self) {
+    pub fn find_invariant_violation(&self) -> Option<String> {
         use std::collections::HashMap;
         let net_idle = self.net.is_idle();
         let mut holders: HashMap<LineAddr, (Vec<CoreId>, Vec<CoreId>)> = HashMap::new();
@@ -288,43 +312,58 @@ impl MemorySystem {
             }
         }
         for (line, (excl, shared)) in &holders {
-            assert!(
-                excl.len() <= 1,
-                "line {line:?} exclusively held by {excl:?}"
-            );
-            assert!(
-                excl.is_empty() || shared.is_empty(),
-                "line {line:?} both exclusive ({excl:?}) and shared ({shared:?})"
-            );
+            if excl.len() > 1 {
+                return Some(format!("line {line:?} exclusively held by {excl:?}"));
+            }
+            if !excl.is_empty() && !shared.is_empty() {
+                return Some(format!(
+                    "line {line:?} both exclusive ({excl:?}) and shared ({shared:?})"
+                ));
+            }
             if let Some(&owner) = excl.first() {
                 let home = &self.dirs[(line.0 % self.dirs.len() as u64) as usize];
                 match home.state_of(*line) {
-                    DirState::Owned(o) => assert_eq!(
-                        o, owner,
-                        "directory owner mismatch for {line:?}"
-                    ),
+                    DirState::Owned(o) => {
+                        if o != owner {
+                            return Some(format!(
+                                "directory owner mismatch for {line:?}: L1 {owner:?} owns it but the directory says {o:?}"
+                            ));
+                        }
+                    }
                     // A transaction or in-flight message may be moving
                     // ownership.
                     _ if !home.is_quiescent()
                         || !net_idle
                         || self.l1s[owner.index()].busy() => {}
-                    st => panic!("L1 {owner:?} owns {line:?} but directory says {st:?}"),
+                    st => {
+                        return Some(format!(
+                            "L1 {owner:?} owns {line:?} but directory says {st:?}"
+                        ))
+                    }
                 }
             }
             for &s in shared {
                 let home = &self.dirs[(line.0 % self.dirs.len() as u64) as usize];
                 match home.state_of(*line) {
-                    DirState::Shared(mask) => assert!(
-                        mask & (1u128 << s.index()) != 0,
-                        "L1 {s:?} holds {line:?} in S but is not in the sharer mask"
-                    ),
+                    DirState::Shared(mask) => {
+                        if mask & (1u128 << s.index()) == 0 {
+                            return Some(format!(
+                                "L1 {s:?} holds {line:?} in S but is not in the sharer mask"
+                            ));
+                        }
+                    }
                     _ if !home.is_quiescent()
                         || !net_idle
                         || self.l1s[s.index()].busy() => {}
-                    st => panic!("L1 {s:?} shares {line:?} but directory says {st:?}"),
+                    st => {
+                        return Some(format!(
+                            "L1 {s:?} shares {line:?} but directory says {st:?}"
+                        ))
+                    }
                 }
             }
         }
+        None
     }
 
     fn lines_of(&self, l1: &L1Cache) -> Vec<LineAddr> {

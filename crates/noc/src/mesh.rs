@@ -20,6 +20,13 @@ pub struct MeshNoc<T> {
     in_flight: usize,
     faults: Option<FaultInjector>,
     dropped: u64,
+    /// Permanent router faults: cycle at which each router died, if ever.
+    /// A dead router drops everything — its queued packets are purged at
+    /// the kill, injections at its tile vanish, and neighbors trying to
+    /// forward through it lose the packet (counted in `dropped`).
+    dead_at: Vec<Option<Cycle>>,
+    /// Router kills not yet applied, as `(cycle, tile index)`.
+    scheduled_kills: Vec<(Cycle, usize)>,
     /// Per-class end-to-end latency histograms (`noc.lat.{class}`). All
     /// free `NONE` ids when stats are off.
     lat_hists: [gstats::HistId; TrafficClass::ALL.len()],
@@ -55,6 +62,8 @@ impl<T> MeshNoc<T> {
             in_flight: 0,
             faults: None,
             dropped: 0,
+            dead_at: vec![None; mesh.len()],
+            scheduled_kills: Vec::new(),
             lat_hists,
             queue_series,
         }
@@ -74,9 +83,24 @@ impl<T> MeshNoc<T> {
         self.faults = Some(faults);
     }
 
-    /// Packets lost to the fault schedule.
+    /// Packets lost to the fault schedule (transient drops, router deaths).
     pub fn packets_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Schedule a permanent router fault: from cycle `at` the router at
+    /// `tile` drops every packet it would have carried.
+    pub fn schedule_router_kill(&mut self, tile: TileId, at: Cycle) {
+        self.scheduled_kills.push((at, tile.index()));
+    }
+
+    /// Cycle at which the router at `tile` died, if a kill has fired.
+    pub fn router_dead_at(&self, tile: TileId) -> Option<Cycle> {
+        self.dead_at[tile.index()]
+    }
+
+    fn router_is_dead(&self, tile: usize) -> bool {
+        self.dead_at[tile].is_some()
     }
 
     pub fn mesh(&self) -> Mesh2D {
@@ -105,6 +129,12 @@ impl<T> MeshNoc<T> {
     pub fn inject(&mut self, pkt: Packet<T>, now: Cycle) {
         // Local bypasses never touch the wires, so only fabric-crossing
         // packets are subject to the fault schedule.
+        if self.router_is_dead(pkt.src.index()) {
+            // The tile's network interface is gone: even local bypasses
+            // ride the router pipeline, so everything vanishes.
+            self.dropped += 1;
+            return;
+        }
         let mut extra = 0;
         if pkt.src != pkt.dst {
             if let Some(f) = self.faults.as_mut() {
@@ -167,6 +197,26 @@ impl<T> MeshNoc<T> {
     /// Advance the whole fabric by one cycle.
     #[allow(clippy::needless_range_loop)]
     pub fn tick(&mut self, now: Cycle) {
+        // Apply any router kills that are due: the router dies in place and
+        // its queued packets are lost.
+        if !self.scheduled_kills.is_empty() {
+            let mut i = 0;
+            while i < self.scheduled_kills.len() {
+                let (at, r) = self.scheduled_kills[i];
+                if at <= now {
+                    self.scheduled_kills.swap_remove(i);
+                    self.dead_at[r].get_or_insert(at);
+                    for p in 0..N_PORTS {
+                        let purged = self.routers[r].in_q[p].len();
+                        self.routers[r].in_q[p].clear();
+                        self.dropped += purged as u64;
+                        self.in_flight -= purged;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         // Congestion gauges (one thread-local flag read when stats are off).
         if gstats::should_sample(now) {
             for (r, &sid) in self.queue_series.iter().enumerate() {
@@ -175,6 +225,9 @@ impl<T> MeshNoc<T> {
         }
         // Per router: arbitrate each output port among ready head packets.
         for r in 0..self.routers.len() {
+            if self.router_is_dead(r) {
+                continue;
+            }
             let tile = TileId::from(r);
             // What does each input-queue head want?
             let mut wants: [Option<usize>; N_PORTS] = [None; N_PORTS];
@@ -205,6 +258,13 @@ impl<T> MeshNoc<T> {
                         .mesh
                         .xy_next_hop(tile, q.pkt.dst)
                         .expect("non-local output implies a next hop");
+                    if self.router_is_dead(next.index()) {
+                        // Forwarded into a dead router: the packet is lost
+                        // on the link (XY routing has no detour).
+                        self.dropped += 1;
+                        self.in_flight -= 1;
+                        continue;
+                    }
                     let arrive =
                         now + ser + self.cfg.link_latency + self.cfg.router_latency;
                     self.routers[next.index()].in_q[Self::opposite(out)]
@@ -400,6 +460,39 @@ mod tests {
         assert_eq!(got[0].payload, 7);
         assert!(at_slow > at_fast, "delay fault must add latency");
         assert!(at_slow <= at_fast + 40);
+    }
+
+    #[test]
+    fn dead_router_swallows_traffic() {
+        let mut n = noc();
+        // Kill tile 1's router (on the XY path 0→3) before any traffic.
+        n.schedule_router_kill(TileId(1), 0);
+        n.tick(0);
+        assert_eq!(n.router_dead_at(TileId(1)), Some(0));
+        // Injection at the dead tile vanishes immediately.
+        n.inject(pkt(1, 2, 8, 9), 1);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.packets_dropped(), 1);
+        // A packet routed through the dead router is lost on the link and
+        // the fabric drains back to idle.
+        n.inject(pkt(0, 3, 8, 5), 1);
+        for now in 1..10_000 {
+            n.tick(now);
+        }
+        assert!(n.is_idle(), "lost packet must not linger in flight");
+        assert_eq!(n.packets_dropped(), 2);
+    }
+
+    #[test]
+    fn router_kill_purges_queued_packets() {
+        let mut n = noc();
+        n.inject(pkt(0, 3, 8, 1), 0);
+        assert_eq!(n.in_flight(), 1);
+        // Kill the source router while the packet still sits in its queue.
+        n.schedule_router_kill(TileId(0), 1);
+        n.tick(1);
+        assert!(n.is_idle(), "queued packet purged with the router");
+        assert_eq!(n.packets_dropped(), 1);
     }
 
     #[test]

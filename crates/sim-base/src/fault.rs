@@ -59,17 +59,47 @@ impl FaultRates {
         self.drop_ppm > 0 || self.delay_ppm > 0 || self.duplicate_ppm > 0
     }
 
-    fn validate(&self, site: &str) {
+    /// Structural validation: the three ppm fields must sum to at most
+    /// 1_000_000 (probabilities, not weights), and delay faults need a
+    /// nonempty delay range to draw from.
+    pub fn validate(&self, site: &'static str) -> Result<(), FaultPlanError> {
         let total = u64::from(self.drop_ppm)
             + u64::from(self.delay_ppm)
             + u64::from(self.duplicate_ppm);
-        assert!(total <= 1_000_000, "{site} fault rates exceed 100% ({total} ppm)");
-        assert!(
-            self.delay_ppm == 0 || self.max_delay >= 1,
-            "{site} delay faults need max_delay >= 1"
-        );
+        if total > 1_000_000 {
+            return Err(FaultPlanError::RateOverflow { site, total_ppm: total });
+        }
+        if self.delay_ppm > 0 && self.max_delay == 0 {
+            return Err(FaultPlanError::DelayWithoutBound { site });
+        }
+        Ok(())
     }
 }
+
+/// A structurally invalid [`FaultPlan`], caught at construction instead of
+/// silently misbehaving mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// `drop_ppm + delay_ppm + duplicate_ppm` exceed 1_000_000 at `site`.
+    RateOverflow { site: &'static str, total_ppm: u64 },
+    /// `delay_ppm > 0` with `max_delay == 0`: the delay draw would be empty.
+    DelayWithoutBound { site: &'static str },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::RateOverflow { site, total_ppm } => {
+                write!(f, "{site} fault rates exceed 100% ({total_ppm} ppm)")
+            }
+            FaultPlanError::DelayWithoutBound { site } => {
+                write!(f, "{site} delay faults need max_delay >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// Where faults are injected. Each site draws from an independent hash
 /// stream, so enabling one site never perturbs another's schedule.
@@ -107,6 +137,38 @@ pub enum FaultDecision {
     Duplicate,
 }
 
+/// A component that dies *permanently* at a scheduled cycle. Unlike the
+/// transient [`FaultRates`] (which the hardened protocol rides out), a hard
+/// fault is unsurvivable at the component level — recovery, where it exists,
+/// is architectural: detection plus failover to a software lock path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HardFaultTarget {
+    /// The shared G-line segments of lock network `net`: every signal sent
+    /// at or after the death cycle is lost and in-flight signals never
+    /// arrive. Kills the whole network's ability to communicate.
+    GlockLine { net: usize },
+    /// One lock manager (`Sx` secondary or `R` root) of network `net`, by
+    /// arbiter node index. A dead manager ignores all signals and emits
+    /// none, severing its whole subtree.
+    GlockManager { net: usize, node: usize },
+    /// Core `core`'s local controller (`Cx`) on network `net`. The core's
+    /// register pair goes unanswered forever on the hardware path.
+    GlockLeaf { net: usize, core: usize },
+    /// The mesh router at `tile`: queued packets are dropped and nothing is
+    /// ever routed through it again.
+    NocRouter { tile: usize },
+    /// A whole tile: its router dies and the core at `core` halts mid-run.
+    Tile { core: usize },
+}
+
+/// One permanent failure at a deterministic cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardFault {
+    /// Cycle at which the component dies.
+    pub at_cycle: u64,
+    pub target: HardFaultTarget,
+}
+
 /// A complete, seeded fault schedule for one simulation run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
@@ -118,6 +180,8 @@ pub struct FaultPlan {
     pub noc: FaultRates,
     /// Directory response stalls (only `delay_ppm`/`max_delay` are used).
     pub dir: FaultRates,
+    /// Permanent component deaths, each at a fixed cycle.
+    pub hard: Vec<HardFault>,
 }
 
 impl FaultPlan {
@@ -127,7 +191,45 @@ impl FaultPlan {
     }
 
     pub fn is_active(&self) -> bool {
-        self.gline.is_active() || self.noc.is_active() || self.dir.is_active()
+        self.gline.is_active()
+            || self.noc.is_active()
+            || self.dir.is_active()
+            || !self.hard.is_empty()
+    }
+
+    /// Whether the plan schedules any permanent component death.
+    pub fn has_hard_faults(&self) -> bool {
+        !self.hard.is_empty()
+    }
+
+    /// Validate every rate site. Call this before handing the plan to a
+    /// simulation; [`FaultInjector::new`] still panics on an invalid plan
+    /// as a second line of defense.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        self.gline.validate("gline")?;
+        self.noc.validate("noc")?;
+        self.dir.validate("dir")?;
+        Ok(())
+    }
+
+    /// Schedule a permanent G-line death for every one of `n_nets` lock
+    /// networks at a seed-derived cycle in `[earliest, latest]`. The kill
+    /// cycle is a pure function of `(seed, net)`, so a chaos schedule is
+    /// reproducible from the plan seed alone.
+    pub fn kill_all_glock_networks(&mut self, n_nets: usize, earliest: u64, latest: u64) {
+        assert!(latest >= earliest, "empty kill window");
+        let span = latest - earliest + 1;
+        for net in 0..n_nets {
+            let mut rng = SplitMix64::new(
+                self.seed
+                    ^ 0x4841_5244_4641_4C54
+                    ^ (net as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            self.hard.push(HardFault {
+                at_cycle: earliest + rng.next_below(span),
+                target: HardFaultTarget::GlockLine { net },
+            });
+        }
     }
 
     /// Build the injector for one component instance. `stream`
@@ -174,11 +276,14 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     pub fn new(seed: u64, site: FaultSite, stream: u64, rates: FaultRates) -> Self {
-        rates.validate(match site {
+        let name = match site {
             FaultSite::Gline => "gline",
             FaultSite::Noc => "noc",
             FaultSite::Dir => "dir",
-        });
+        };
+        if let Err(e) = rates.validate(name) {
+            panic!("{e}");
+        }
         FaultInjector { seed, site, stream, rates, next_event: 0, stats: FaultStats::default() }
     }
 
@@ -304,5 +409,42 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(inj.decide(), FaultDecision::Drop);
         }
+    }
+
+    #[test]
+    fn plan_validation_reports_structured_errors() {
+        let ok = plan(100_000, 0, 0);
+        assert_eq!(ok.validate(), Ok(()));
+        let over = plan(900_000, 200_000, 0);
+        assert_eq!(
+            over.validate(),
+            Err(FaultPlanError::RateOverflow { site: "gline", total_ppm: 1_100_000 })
+        );
+        assert!(over.validate().unwrap_err().to_string().contains("fault rates exceed 100%"));
+        let mut unbounded = FaultPlan::seeded(1);
+        unbounded.noc = FaultRates { delay_ppm: 10, max_delay: 0, ..FaultRates::NONE };
+        assert_eq!(
+            unbounded.validate(),
+            Err(FaultPlanError::DelayWithoutBound { site: "noc" })
+        );
+        assert!(unbounded.validate().unwrap_err().to_string().contains("max_delay >= 1"));
+    }
+
+    #[test]
+    fn hard_fault_schedule_is_seed_deterministic() {
+        let mut a = FaultPlan::seeded(7);
+        a.kill_all_glock_networks(4, 1_000, 9_000);
+        let mut b = FaultPlan::seeded(7);
+        b.kill_all_glock_networks(4, 1_000, 9_000);
+        assert_eq!(a.hard, b.hard, "same seed must replay the kill schedule");
+        assert_eq!(a.hard.len(), 4);
+        assert!(a.is_active() && a.has_hard_faults());
+        for (k, hf) in a.hard.iter().enumerate() {
+            assert!((1_000..=9_000).contains(&hf.at_cycle));
+            assert_eq!(hf.target, HardFaultTarget::GlockLine { net: k });
+        }
+        let mut c = FaultPlan::seeded(8);
+        c.kill_all_glock_networks(4, 1_000, 9_000);
+        assert_ne!(a.hard, c.hard, "different seeds pick different cycles");
     }
 }

@@ -1,0 +1,216 @@
+//! Runtime protocol invariant checker.
+//!
+//! A sampling checker that rides along every run it is enabled for —
+//! notably the fault sweeps, where an injected failure could silently
+//! corrupt the protocol instead of wedging visibly. Like the stats
+//! subsystem it is **zero-cost when off**: `SimulationOptions::checker` is
+//! `None` by default and the runner's cycle loop then never touches it, so
+//! fault-free paper runs stay bit-identical.
+//!
+//! Four invariant families are validated every [`CheckerConfig::every`]
+//! cycles:
+//!
+//! 1. **Mutual exclusion per lock** — the [`glocks_cpu::LockTracker`]'s
+//!    holder/requester picture must be self-consistent (the tracker's own
+//!    asserts catch a double-grant immediately; this scan catches backends
+//!    that desynchronize the bookkeeping).
+//! 2. **At most one token per G-line network** — across epochs, exactly
+//!    one automaton of a healthy network may hold the token, and the root
+//!    must hold it when nobody else does
+//!    ([`glocks::GlockNetwork::token_invariant_violation`]). Networks
+//!    compromised by a hard fault are exempt from the liveness half (a
+//!    dead component may have taken the token with it) but never from
+//!    the at-most-one half.
+//! 3. **Bounded waiting** — round-robin arbitration means a requester is
+//!    served within one round. If the oldest outstanding request has waited
+//!    more than [`CheckerConfig::fairness_window`] cycles *while more
+//!    grants than a full round flowed past it*, fairness is broken. (A
+//!    global stall trips the watchdog instead, with its own diagnosis.)
+//! 4. **Directory/L1 MESI compatibility** —
+//!    [`glocks_mem::MemorySystem::find_invariant_violation`].
+//!
+//! A violation surfaces as [`crate::SimError::InvariantViolation`] carrying
+//! the usual diagnostic snapshot, so a sweep harness logs it like any other
+//! structured failure and moves on.
+
+use glocks::GlockNetwork;
+use glocks_cpu::LockTracker;
+use glocks_mem::MemorySystem;
+use glocks_sim_base::{Cycle, LockId, ThreadId};
+use glocks_stats as gstats;
+
+/// Sampling cadence and fairness bound of the runtime checker.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerConfig {
+    /// Run the checks every `every` cycles (must be ≥ 1).
+    pub every: u64,
+    /// Bounded-waiting horizon: a requester stuck this long while a full
+    /// round of grants passed it by is a fairness violation.
+    pub fairness_window: u64,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        // The MESI scan walks every resident line, so the default cadence
+        // is coarse enough not to dominate runtime.
+        CheckerConfig { every: 1024, fairness_window: 1_000_000 }
+    }
+}
+
+/// Per-lock memory of the bounded-waiting analysis: the oldest request we
+/// have been watching and how many grants the lock had served when we
+/// first saw it.
+#[derive(Clone, Copy)]
+struct WaitWatch {
+    tid: ThreadId,
+    since: Cycle,
+    acquires_then: u64,
+}
+
+/// The runtime checker's state across a run.
+pub struct ProtocolChecker {
+    cfg: CheckerConfig,
+    watches: Vec<Option<WaitWatch>>,
+    n_cores: u64,
+    checks_run: u64,
+}
+
+impl ProtocolChecker {
+    pub fn new(cfg: CheckerConfig, n_locks: usize, n_cores: usize) -> Self {
+        assert!(cfg.every >= 1, "checker cadence must be at least 1 cycle");
+        ProtocolChecker {
+            cfg,
+            watches: vec![None; n_locks],
+            n_cores: n_cores as u64,
+            checks_run: 0,
+        }
+    }
+
+    /// Is a check due this cycle?
+    pub fn due(&self, now: Cycle) -> bool {
+        now.is_multiple_of(self.cfg.every)
+    }
+
+    /// Run every invariant family; returns a description of the first
+    /// violation found.
+    pub fn check(
+        &mut self,
+        now: Cycle,
+        tracker: &LockTracker,
+        mem: &MemorySystem,
+        nets: &[GlockNetwork],
+    ) -> Option<String> {
+        self.checks_run += 1;
+        if let Some(v) = tracker.find_violation() {
+            return Some(format!("mutual exclusion: {v}"));
+        }
+        for (k, net) in nets.iter().enumerate() {
+            if let Some(v) = net.token_invariant_violation() {
+                return Some(format!("glock net {k} token invariant: {v}"));
+            }
+        }
+        if let Some(v) = self.check_bounded_waiting(now, tracker) {
+            return Some(v);
+        }
+        if let Some(v) = mem.find_invariant_violation() {
+            return Some(format!("MESI: {v}"));
+        }
+        None
+    }
+
+    fn check_bounded_waiting(&mut self, now: Cycle, tracker: &LockTracker) -> Option<String> {
+        for (i, watch) in self.watches.iter_mut().enumerate() {
+            let lock = LockId(i as u16);
+            let Some((tid, since)) = tracker.oldest_request(lock) else {
+                *watch = None;
+                continue;
+            };
+            let acquires = tracker.acquires(lock);
+            match watch {
+                Some(w) if w.tid == tid && w.since == since => {
+                    // Round-robin bound: within one full round (one grant
+                    // per core) every raised request must have been served.
+                    let flowed = acquires - w.acquires_then;
+                    if now.saturating_sub(since) > self.cfg.fairness_window
+                        && flowed > self.n_cores
+                    {
+                        return Some(format!(
+                            "bounded waiting: thread {tid} has waited {} cycles on lock {i} \
+                             while {flowed} grants flowed past it",
+                            now - since
+                        ));
+                    }
+                }
+                _ => *watch = Some(WaitWatch { tid, since, acquires_then: acquires }),
+            }
+        }
+        None
+    }
+
+    /// Publish the checker's own counters (only registered when the
+    /// checker ran, so fault-free stats dumps keep their schema).
+    pub fn publish_stats(&self) {
+        if !gstats::is_enabled() {
+            return;
+        }
+        gstats::set(gstats::counter("checker.checks_run"), self.checks_run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_and_counters() {
+        let mut ck = ProtocolChecker::new(
+            CheckerConfig { every: 8, fairness_window: 100 },
+            1,
+            4,
+        );
+        assert!(ck.due(0) && ck.due(8) && !ck.due(9));
+        let tracker = LockTracker::new(1, 4);
+        let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
+        assert_eq!(ck.check(0, &tracker, &mem, &[]), None);
+        assert_eq!(ck.checks_run, 1);
+    }
+
+    #[test]
+    fn bounded_waiting_trips_on_starvation_with_progress() {
+        let mut ck = ProtocolChecker::new(
+            CheckerConfig { every: 1, fairness_window: 50 },
+            1,
+            2,
+        );
+        let mut tracker = LockTracker::new(1, 2);
+        let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
+        // Thread 0 requests at cycle 0 and is never served...
+        tracker.on_acquire_start(LockId(0), ThreadId(0), 0);
+        assert_eq!(ck.check(1, &tracker, &mem, &[]), None, "first sight arms the watch");
+        // ...while thread 1 grabs the lock over and over (3 > n_cores).
+        for _ in 0..3 {
+            tracker.on_acquire_start(LockId(0), ThreadId(1), 2);
+            tracker.on_acquired(LockId(0), ThreadId(1), 3);
+            tracker.on_release_start(LockId(0), ThreadId(1), 4);
+        }
+        assert_eq!(ck.check(10, &tracker, &mem, &[]), None, "within the window");
+        let v = ck.check(100, &tracker, &mem, &[]).expect("starvation must trip");
+        assert!(v.contains("bounded waiting"), "{v}");
+    }
+
+    #[test]
+    fn served_requests_reset_the_watch() {
+        let mut ck = ProtocolChecker::new(
+            CheckerConfig { every: 1, fairness_window: 10 },
+            1,
+            2,
+        );
+        let mut tracker = LockTracker::new(1, 2);
+        let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
+        tracker.on_acquire_start(LockId(0), ThreadId(0), 0);
+        assert_eq!(ck.check(1, &tracker, &mem, &[]), None);
+        tracker.on_acquired(LockId(0), ThreadId(0), 5);
+        tracker.on_release_start(LockId(0), ThreadId(0), 6);
+        assert_eq!(ck.check(1000, &tracker, &mem, &[]), None, "no outstanding request");
+    }
+}

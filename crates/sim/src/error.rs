@@ -145,6 +145,13 @@ pub enum SimError {
         detail: String,
         snapshot: Box<DiagnosticSnapshot>,
     },
+    /// The runtime protocol checker caught a safety violation (mutual
+    /// exclusion, token uniqueness, bounded waiting, or MESI consistency)
+    /// while the run was still making progress.
+    InvariantViolation {
+        detail: String,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
 }
 
 impl SimError {
@@ -154,7 +161,8 @@ impl SimError {
             SimError::NoForwardProgress { snapshot, .. }
             | SimError::MaxCyclesExceeded { snapshot, .. }
             | SimError::DrainStalled { snapshot, .. }
-            | SimError::ResidualLockState { snapshot, .. } => snapshot,
+            | SimError::ResidualLockState { snapshot, .. }
+            | SimError::InvariantViolation { snapshot, .. } => snapshot,
         }
     }
 
@@ -165,6 +173,7 @@ impl SimError {
             SimError::MaxCyclesExceeded { .. } => "max-cycles-exceeded",
             SimError::DrainStalled { .. } => "drain-stalled",
             SimError::ResidualLockState { .. } => "residual-lock-state",
+            SimError::InvariantViolation { .. } => "invariant-violation",
         }
     }
 }
@@ -186,6 +195,10 @@ impl fmt::Display for SimError {
             }
             SimError::ResidualLockState { detail, snapshot } => {
                 writeln!(f, "residual lock state after completion: {detail}")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::InvariantViolation { detail, snapshot } => {
+                writeln!(f, "protocol invariant violated: {detail}")?;
                 write!(f, "{snapshot}")
             }
         }

@@ -8,12 +8,14 @@
 //! runs the parallel phase to completion, returning a [`SimReport`] with
 //! every metric the paper's evaluation uses.
 
+pub mod checker;
 pub mod error;
 pub mod mapping;
 pub mod report;
 pub mod runner;
 pub mod summary;
 
+pub use checker::{CheckerConfig, ProtocolChecker};
 pub use error::{CoreDiag, DiagnosticSnapshot, GlockDiag, LockDiag, SimError};
 pub use mapping::LockMapping;
 pub use report::{SimReport, TrafficSnapshot};

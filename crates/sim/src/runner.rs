@@ -1,17 +1,18 @@
 //! The cycle loop tying all subsystems together.
 
+use crate::checker::{CheckerConfig, ProtocolChecker};
 use crate::error::{CoreDiag, DiagnosticSnapshot, GlockDiag, LockDiag, SimError};
 use crate::mapping::LockMapping;
 use crate::report::{SimReport, TrafficSnapshot};
 use glocks::{GBarrierNetwork, GlockNetwork, GlockPool, Topology};
 use glocks_cpu::{Backends, BarrierBackend, Core, LockBackend, LockTracker, Script, Workload};
-use glocks_sim_base::fault::{FaultPlan, FaultSite};
+use glocks_sim_base::fault::{FaultPlan, FaultSite, HardFaultTarget};
 use glocks_sim_base::ThreadId;
 use glocks_energy::{EnergyInputs, EnergyModel};
 use glocks_locks::barrier::TreeBarrier;
 use glocks_locks::LockAlgorithm;
 use glocks_mem::MemorySystem;
-use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle, LockId};
+use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle, LockId, TileId};
 
 /// A barrier backend that gives each consecutive core group its own
 /// private combining tree — the multiprogramming substrate of Section V's
@@ -85,6 +86,10 @@ pub struct SimulationOptions {
     /// count as progress, so a lost-token livelock trips this long before
     /// `max_cycles`.
     pub watchdog_cycles: u64,
+    /// Runtime protocol invariant checker (see [`crate::checker`]).
+    /// `None` (the default) costs nothing: the cycle loop never consults
+    /// it, so paper runs stay bit-identical.
+    pub checker: Option<CheckerConfig>,
 }
 
 impl Default for SimulationOptions {
@@ -98,6 +103,7 @@ impl Default for SimulationOptions {
             hardware_barrier: false,
             fault_plan: None,
             watchdog_cycles: 2_000_000,
+            checker: None,
         }
     }
 }
@@ -114,6 +120,10 @@ pub struct Simulation {
     glock_nets: Vec<GlockNetwork>,
     gbarrier: Option<GBarrierNetwork>,
     pool: Option<std::rc::Rc<GlockPool>>,
+    checker: Option<ProtocolChecker>,
+    /// Per-backend failover counters, present only under hard faults.
+    failover_counters: Vec<std::rc::Rc<std::cell::Cell<u64>>>,
+    has_hard_faults: bool,
     now: Cycle,
 }
 
@@ -167,26 +177,74 @@ impl Simulation {
         let mut glock_nets: Vec<GlockNetwork> = (0..n_nets)
             .map(|_| GlockNetwork::new(&topo, cfg.glocks.gline_latency))
             .collect();
+        let mut has_hard_faults = false;
         if let Some(plan) = &options.fault_plan {
+            if let Err(e) = plan.validate() {
+                panic!("{e}");
+            }
             mem.apply_fault_plan(plan);
             if plan.gline.is_active() {
                 for (k, net) in glock_nets.iter_mut().enumerate() {
                     net.set_faults(plan.injector(FaultSite::Gline, k as u64));
                 }
             }
+            has_hard_faults = plan.has_hard_faults();
+            for hf in &plan.hard {
+                match hf.target {
+                    HardFaultTarget::GlockLine { net } => {
+                        glock_nets[net].schedule_line_kill(hf.at_cycle);
+                    }
+                    HardFaultTarget::GlockManager { net, node } => {
+                        glock_nets[net].schedule_manager_kill(hf.at_cycle, node);
+                    }
+                    HardFaultTarget::GlockLeaf { net, core } => {
+                        glock_nets[net].schedule_leaf_kill(hf.at_cycle, core);
+                    }
+                    HardFaultTarget::NocRouter { tile } => {
+                        mem.schedule_router_kill(TileId(tile as u16), hf.at_cycle);
+                    }
+                    // Tile death is a wedge, not a failover scope: the
+                    // halted core's work is gone, the watchdog diagnoses
+                    // it. Its router dies with it.
+                    HardFaultTarget::Tile { core } => {
+                        mem.schedule_router_kill(TileId(core as u16), hf.at_cycle);
+                    }
+                }
+            }
         }
         let pool = dynamic
             .then(|| GlockPool::new(glock_nets.iter().map(|n| n.regs()).collect()));
+        if let Some(p) = &pool {
+            // Let the binding table see network health, so dead physical
+            // locks are quarantined out of future bindings.
+            p.attach_healths(glock_nets.iter().map(|n| n.health()).collect());
+        }
         // Lock backends in LockId order.
         let mut next_glock = 0usize;
+        let mut failover_counters = Vec::new();
         let locks: Vec<Box<dyn LockBackend>> = (0..n_locks)
             .map(|i| {
                 let algo = mapping.algo(LockId(i as u16));
                 let base = Addr(LOCK_REGION_BASE + i as u64 * LOCK_REGION_STRIDE);
                 let regs = if algo == LockAlgorithm::Glock {
-                    let r = glock_nets[next_glock].regs();
+                    let k = next_glock;
                     next_glock += 1;
-                    Some(r)
+                    if has_hard_faults {
+                        // Survivable flavor of the GLock driver: healthy
+                        // runs are step-identical, but a detected network
+                        // death reroutes onto a software fallback. Only
+                        // built under a hard-fault plan, so fault-free
+                        // stats dumps keep their exact schema and values.
+                        let b = glocks_locks::failover::FailoverGlockBackend::new(
+                            glock_nets[k].regs(),
+                            glock_nets[k].health(),
+                            base,
+                            cfg.num_cores,
+                        );
+                        failover_counters.push(b.failover_count());
+                        return Box::new(b) as Box<dyn LockBackend>;
+                    }
+                    Some(glock_nets[k].regs())
                 } else {
                     None
                 };
@@ -223,11 +281,21 @@ impl Simulation {
             (None, false) => Box::new(TreeBarrier::new(Addr(BARRIER_REGION), cfg.num_cores)),
         };
         let tracker = LockTracker::new(n_locks, cfg.num_cores);
-        let cores: Vec<Core> = workloads
+        let mut cores: Vec<Core> = workloads
             .into_iter()
             .enumerate()
             .map(|(i, w)| Core::new(CoreId(i as u16), cfg.issue_width, w))
             .collect();
+        if let Some(plan) = &options.fault_plan {
+            for hf in &plan.hard {
+                if let HardFaultTarget::Tile { core } = hf.target {
+                    cores[core].schedule_halt(hf.at_cycle);
+                }
+            }
+        }
+        let checker = options
+            .checker
+            .map(|c| ProtocolChecker::new(c, n_locks, cfg.num_cores));
         Simulation {
             cfg: *cfg,
             options,
@@ -239,6 +307,9 @@ impl Simulation {
             glock_nets,
             gbarrier,
             pool,
+            checker,
+            failover_counters,
+            has_hard_faults,
             now: 0,
         }
     }
@@ -321,6 +392,18 @@ impl Simulation {
                 for net in &self.glock_nets {
                     net.assert_token_invariants();
                 }
+            }
+            let violation = match self.checker.as_mut() {
+                Some(ck) if ck.due(self.now) => {
+                    ck.check(self.now, &self.tracker, &self.mem, &self.glock_nets)
+                }
+                _ => None,
+            };
+            if let Some(detail) = violation {
+                return Err(SimError::InvariantViolation {
+                    detail,
+                    snapshot: self.snapshot(),
+                });
             }
             if all_done {
                 break self.now;
@@ -420,6 +503,16 @@ impl Simulation {
                 glocks_stats::counter("sim.gbarrier.signals"),
                 gbarrier_signals,
             );
+            // Survivability keys exist only under a hard-fault plan, so
+            // fault-free dumps keep their golden schema.
+            if self.has_hard_faults {
+                let failovers = self.failover_counters.iter().map(|c| c.get()).sum::<u64>()
+                    + self.pool.as_ref().map_or(0, |p| p.stats().failovers);
+                glocks_stats::set(glocks_stats::counter("sim.failovers"), failovers);
+            }
+            if let Some(ck) = &self.checker {
+                ck.publish_stats();
+            }
             Some(glocks_stats::snapshot())
         } else {
             None
@@ -592,6 +685,95 @@ mod tests {
     #[should_panic(expected = "partitions must cover all cores")]
     fn non_covering_partitions_rejected() {
         let _ = run_partitioned(Some(vec![3, 3]), 8, 1);
+    }
+
+    #[test]
+    fn glock_network_death_fails_over_and_completes() {
+        use glocks_sim_base::FaultPlan;
+        let cfg = CmpConfig::paper_baseline().with_cores(8);
+        let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
+        // Baseline: the fault-free acquire count.
+        let sim = Simulation::new(
+            &cfg,
+            &mapping,
+            mini_workloads(&cfg, 4),
+            &[],
+            SimulationOptions::default(),
+        );
+        let (clean, _) = sim.run().expect("fault-free run");
+        // Kill the lock network mid-run; the checker rides along.
+        let mut plan = FaultPlan::seeded(11);
+        plan.kill_all_glock_networks(1, 500, 2_000);
+        let opts = SimulationOptions {
+            fault_plan: Some(plan),
+            checker: Some(CheckerConfig::default()),
+            ..Default::default()
+        };
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, 4), &[], opts);
+        let (report, mem) = sim.run().expect("survivable run must complete");
+        assert_eq!(mem.store().load(Addr(0x200_0000)), 32, "no lost increments");
+        assert_eq!(
+            report.acquires[0], clean.acquires[0],
+            "failover must preserve the acquire count"
+        );
+        assert!(
+            report.glocks[0].grants < clean.glocks[0].grants,
+            "the dead network cannot have served every tenure"
+        );
+    }
+
+    #[test]
+    fn tile_death_is_diagnosed_not_survived() {
+        use glocks_sim_base::fault::{HardFault, HardFaultTarget};
+        use glocks_sim_base::FaultPlan;
+        let cfg = CmpConfig::paper_baseline().with_cores(4);
+        let mapping = LockMapping::uniform(LockAlgorithm::Tatas, 1);
+        let mut plan = FaultPlan::seeded(3);
+        plan.hard.push(HardFault {
+            at_cycle: 1_000,
+            target: HardFaultTarget::Tile { core: 2 },
+        });
+        let opts = SimulationOptions {
+            fault_plan: Some(plan),
+            watchdog_cycles: 50_000,
+            ..Default::default()
+        };
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, 50), &[], opts);
+        let err = match sim.run() {
+            Ok(_) => panic!("a dead tile must wedge the run"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), "no-forward-progress");
+        // The snapshot names the frozen core.
+        let snap = err.snapshot();
+        assert!(snap.cores.iter().any(|c| c.id == CoreId(2)
+            && c.activity != glocks_cpu::CoreActivity::Finished));
+    }
+
+    #[test]
+    fn checker_is_silent_on_healthy_runs() {
+        let cfg = CmpConfig::paper_baseline().with_cores(8);
+        let mapping = LockMapping::uniform(LockAlgorithm::Mcs, 1);
+        let opts = SimulationOptions {
+            checker: Some(CheckerConfig { every: 64, fairness_window: 100_000 }),
+            ..Default::default()
+        };
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, 4), &[], opts);
+        let (report, _) = sim.run().expect("checker must not trip on a clean run");
+        assert_eq!(report.acquires[0], 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates exceed 100%")]
+    fn invalid_fault_plan_is_rejected_at_construction() {
+        use glocks_sim_base::{FaultPlan, FaultRates};
+        let cfg = CmpConfig::paper_baseline().with_cores(4);
+        let mapping = LockMapping::uniform(LockAlgorithm::Tatas, 1);
+        let mut plan = FaultPlan::seeded(1);
+        plan.noc = FaultRates { drop_ppm: 900_000, delay_ppm: 200_000, ..Default::default() };
+        plan.noc.max_delay = 4;
+        let opts = SimulationOptions { fault_plan: Some(plan), ..Default::default() };
+        let _ = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, 1), &[], opts);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! End-to-end mutual-exclusion property for the Reactive lock under
+//! *bursty* contention — the workload shape designed to force protocol
+//! switches (TATAS ↔ MCS) while critical sections are in flight.
+//!
+//! Every critical section is a read-modify-write increment of a counter
+//! word guarded by the lock, so a single mutual-exclusion failure across a
+//! protocol switch loses an increment and the final memory image is wrong.
+//! The runtime protocol checker rides along at a dense cadence as a second
+//! observer of the same property.
+
+use glocks_cpu::{Action, Workload};
+use glocks_locks::LockAlgorithm;
+use glocks_mem::MemOp;
+use glocks_sim::{CheckerConfig, LockMapping, Simulation, SimulationOptions};
+use glocks_sim_base::{Addr, CmpConfig, LockId, SplitMix64};
+use proptest::prelude::*;
+
+/// Counter word guarded by workload lock `lock`.
+fn counter_addr(lock: LockId) -> Addr {
+    Addr(0x400_0000 + lock.0 as u64 * 64)
+}
+
+/// Program step: `Section` expands to acquire → load → store(+1) → release.
+#[derive(Clone, Copy)]
+enum Op {
+    Compute(u64),
+    Section(LockId),
+    Barrier,
+}
+
+struct BurstyProgram {
+    ops: Vec<Op>,
+    i: usize,
+    /// Micro-step inside the current `Section`.
+    sub: u8,
+}
+
+impl Workload for BurstyProgram {
+    fn next(&mut self, last: u64) -> Action {
+        match self.ops.get(self.i) {
+            None => Action::Done,
+            Some(&Op::Compute(n)) => {
+                self.i += 1;
+                Action::Compute(n)
+            }
+            Some(&Op::Barrier) => {
+                self.i += 1;
+                Action::Barrier
+            }
+            Some(&Op::Section(lock)) => {
+                let a = match self.sub {
+                    0 => Action::Acquire(lock),
+                    1 => Action::Mem(MemOp::Load(counter_addr(lock))),
+                    // `last` is the loaded counter: a racy interleaving
+                    // across a protocol switch would lose this increment.
+                    2 => Action::Mem(MemOp::Store(counter_addr(lock), last + 1)),
+                    _ => Action::Release(lock),
+                };
+                if self.sub == 3 {
+                    self.sub = 0;
+                    self.i += 1;
+                } else {
+                    self.sub += 1;
+                }
+                a
+            }
+        }
+    }
+}
+
+/// Alternate all-threads bursts with a solo calm phase so the Reactive
+/// EWMA crosses both water marks; returns per-thread programs plus the
+/// expected final counter value.
+fn generate(threads: usize, phases: u32, burst: u32, calm: u32, seed: u64) -> (Vec<Vec<Op>>, u64) {
+    let lock = LockId(0);
+    let mut rng = SplitMix64::new(seed);
+    let mut progs: Vec<Vec<Op>> = (0..threads).map(|_| Vec::new()).collect();
+    for _ in 0..phases {
+        for (t, p) in progs.iter_mut().enumerate() {
+            // Jittered lead-in so burst arrivals interleave differently
+            // from case to case.
+            p.push(Op::Compute(rng.next_below(20) + 1));
+            for _ in 0..burst {
+                p.push(Op::Section(lock));
+            }
+            p.push(Op::Barrier);
+            // Calm phase: only thread 0 touches the lock.
+            if t == 0 {
+                for _ in 0..calm {
+                    p.push(Op::Section(lock));
+                }
+            }
+            p.push(Op::Barrier);
+        }
+    }
+    let expected = phases as u64 * (threads as u64 * burst as u64 + calm as u64);
+    (progs, expected)
+}
+
+fn run_reactive(threads: usize, progs: &[Vec<Op>]) -> u64 {
+    let cfg = CmpConfig::paper_baseline().with_cores(threads);
+    let mapping = LockMapping::uniform(LockAlgorithm::Reactive, 1);
+    let workloads = progs
+        .iter()
+        .map(|ops| Box::new(BurstyProgram { ops: ops.clone(), i: 0, sub: 0 }) as Box<dyn Workload>)
+        .collect();
+    let options = SimulationOptions {
+        // Dense second observer: mutual exclusion via the lock tracker.
+        checker: Some(CheckerConfig { every: 64, fairness_window: 1_000_000 }),
+        ..Default::default()
+    };
+    let sim = Simulation::new(&cfg, &mapping, workloads, &[], options);
+    let (_report, mem) = sim.run().expect("bursty Reactive run wedged or tripped the checker");
+    mem.store().load(counter_addr(LockId(0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn reactive_preserves_every_increment_across_switches(
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        phases in 1u32..4,
+        burst in 2u32..5,
+        calm in 1u32..4,
+    ) {
+        let (progs, expected) = generate(threads, phases, burst, calm, seed);
+        let counter = run_reactive(threads, &progs);
+        prop_assert_eq!(counter, expected, "lost or duplicated increments");
+    }
+}

@@ -12,8 +12,11 @@
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = out-of-tolerance drift (or shape change),
-//! 2 = usage or I/O error. CI pipes a freshly-generated dump against the
-//! committed golden dump and fails the build on exit 1.
+//! 2 = usage error, 3 = dump missing or unreadable, 4 = dump malformed or
+//! from an unsupported schema version. CI pipes a freshly-generated dump
+//! against the committed golden dump and fails the build on exit 1; the
+//! distinct 3/4 codes let a pipeline tell "the run never produced a dump"
+//! from "the dump format drifted" without parsing stderr.
 
 use glocks_stats::diff::DiffKind;
 use glocks_stats::{diff, DiffOptions, StatsDump};
@@ -38,9 +41,43 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<StatsDump, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    StatsDump::from_json(&src).map_err(|e| format!("{path}: {e}"))
+/// Why a dump failed to load — each variant maps to a distinct exit code
+/// so CI can branch on the failure class without scraping stderr.
+enum LoadError {
+    /// File missing or unreadable (exit 3).
+    Unreadable(String),
+    /// Parse failure or unsupported `schema_version` (exit 4).
+    BadSchema(String),
+}
+
+impl LoadError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            LoadError::Unreadable(_) => ExitCode::from(3),
+            LoadError::BadSchema(_) => ExitCode::from(4),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            LoadError::Unreadable(m) | LoadError::BadSchema(m) => m,
+        }
+    }
+}
+
+fn load(path: &str) -> Result<StatsDump, LoadError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| LoadError::Unreadable(format!("{path}: {e}")))?;
+    let dump = StatsDump::from_json(&src)
+        .map_err(|e| LoadError::BadSchema(format!("{path}: {e}")))?;
+    if dump.schema_version != glocks_stats::SCHEMA_VERSION {
+        return Err(LoadError::BadSchema(format!(
+            "{path}: schema version {} unsupported (this tool reads version {})",
+            dump.schema_version,
+            glocks_stats::SCHEMA_VERSION
+        )));
+    }
+    Ok(dump)
 }
 
 fn main() -> ExitCode {
@@ -57,8 +94,8 @@ fn show(path: &str) -> ExitCode {
     let d = match load(path) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+            eprintln!("error: {}", e.message());
+            return e.exit_code();
         }
     };
     outln!("schema_version: {}", d.schema_version);
@@ -106,8 +143,8 @@ fn csv(path: &str) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }
@@ -139,8 +176,8 @@ fn cmd_diff(old_path: &str, new_path: &str, rest: &[String]) -> ExitCode {
     let (old, new) = match (load(old_path), load(new_path)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+            eprintln!("error: {}", e.message());
+            return e.exit_code();
         }
     };
 

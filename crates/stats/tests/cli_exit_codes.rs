@@ -1,0 +1,65 @@
+//! The `glocks-stats` exit-code contract CI scripts rely on:
+//! 0 clean, 1 drift, 2 usage, 3 missing/unreadable dump, 4 bad schema.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_glocks-stats"))
+        .args(args)
+        .output()
+        .expect("spawn glocks-stats")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+fn write_dump(dir: &std::path::Path, name: &str, body: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    let dir = std::env::temp_dir().join(format!("glocks_stats_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ok = write_dump(
+        &dir,
+        "ok.json",
+        r#"{"schema_version":1,"meta":{},"counters":{"sim.cycles":100},"hists":{},"series":{}}"#,
+    );
+    let drifted = write_dump(
+        &dir,
+        "drift.json",
+        r#"{"schema_version":1,"meta":{},"counters":{"sim.cycles":900},"hists":{},"series":{}}"#,
+    );
+    let future = write_dump(
+        &dir,
+        "future.json",
+        r#"{"schema_version":999,"meta":{},"counters":{},"hists":{},"series":{}}"#,
+    );
+    let garbage = write_dump(&dir, "garbage.json", "not json at all");
+    let missing = dir.join("does_not_exist.json");
+    let missing = missing.to_str().unwrap();
+
+    // 0: clean show / identical diff.
+    assert_eq!(run(&["show", &ok]), 0);
+    assert_eq!(run(&["diff", &ok, &ok]), 0);
+    // 1: out-of-tolerance drift.
+    assert_eq!(run(&["diff", &ok, &drifted]), 1);
+    // 2: usage errors.
+    assert_eq!(run(&[]), 2);
+    assert_eq!(run(&["diff", &ok]), 2);
+    assert_eq!(run(&["diff", &ok, &ok, "--no-such-flag"]), 2);
+    // 3: dump missing or unreadable.
+    assert_eq!(run(&["show", missing]), 3);
+    assert_eq!(run(&["csv", missing]), 3);
+    assert_eq!(run(&["diff", &ok, missing]), 3);
+    // 4: malformed dump or unsupported schema version.
+    assert_eq!(run(&["show", &garbage]), 4);
+    assert_eq!(run(&["show", &future]), 4);
+    assert_eq!(run(&["diff", &future, &ok]), 4);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -106,3 +106,52 @@ fn enabling_stats_does_not_perturb_the_simulation() {
     let dump = on.stats.expect("snapshot attached");
     assert_eq!(dump.counters.get("sim.cycles"), Some(&on.cycles));
 }
+
+/// The runtime protocol checker is a pure observer too: on a fault-free
+/// run it must neither change a single paper-facing number nor add keys to
+/// a dump it is not part of (the `checker.*` stats only register when a
+/// checker is attached, keeping the golden dump's schema stable).
+#[test]
+fn enabling_the_checker_does_not_perturb_the_simulation() {
+    use glocks_repro::sim::CheckerConfig;
+    let off = sim_for(BenchKind::Sctr, LockAlgorithm::Glock, 8, Default::default());
+    let on = sim_for(
+        BenchKind::Sctr,
+        LockAlgorithm::Glock,
+        8,
+        SimulationOptions {
+            // Densest possible cadence — maximum opportunity to perturb.
+            checker: Some(CheckerConfig { every: 1, fairness_window: 1_000_000 }),
+            ..Default::default()
+        },
+    );
+
+    assert_eq!(off.cycles, on.cycles);
+    assert_eq!(off.finished_at, on.finished_at);
+    assert_eq!(off.acquires, on.acquires);
+    assert_eq!(off.glocks.len(), on.glocks.len());
+    for (g_off, g_on) in off.glocks.iter().zip(&on.glocks) {
+        assert_eq!(g_off.grants, g_on.grants);
+        assert_eq!(g_off.signals, g_on.signals);
+    }
+    assert_eq!(off.traffic.total_messages, on.traffic.total_messages);
+    assert_eq!(off.instructions(), on.instructions());
+
+    // Dumps with the checker off must not grow checker keys...
+    let plain = dump_json(Default::default());
+    let plain = gstats::StatsDump::from_json(&plain).expect("dump parses");
+    assert!(
+        !plain.counters.keys().any(|k| k.starts_with("checker.")),
+        "checker-off dumps must keep the golden schema"
+    );
+    // ...while checker-on dumps record that checks actually ran.
+    let checked = dump_json(SimulationOptions {
+        checker: Some(CheckerConfig::default()),
+        ..Default::default()
+    });
+    let checked = gstats::StatsDump::from_json(&checked).expect("dump parses");
+    assert!(
+        checked.counters.get("checker.checks_run").copied().unwrap_or(0) > 0,
+        "an attached checker must actually run checks"
+    );
+}
