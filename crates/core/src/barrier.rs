@@ -18,6 +18,7 @@
 use crate::signal::{Endpoint, InFlight, Sig, Wires};
 use crate::topology::Topology;
 use crate::node::Child;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::Cycle;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -175,6 +176,49 @@ impl GBarrierNetwork {
         self.wires.is_idle()
             && self.counts.iter().all(|&c| c == 0)
             && self.leaf_sent.iter().all(|&s| !s)
+    }
+
+    /// Serialize the dynamic barrier state (tree shape and `expected`
+    /// counts are structure; `buf` is per-tick scratch).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.mark("gbarrier");
+        w.seq(&self.counts, |w, &c| w.u32(c));
+        w.seq(&self.forwarded, |w, &f| w.bool(f));
+        w.seq(&self.leaf_sent, |w, &s| w.bool(s));
+        w.usize(self.regs.arrive.len());
+        for a in &self.regs.arrive {
+            w.bool(a.get());
+        }
+        self.wires.save_state(w);
+        w.u64(self.episodes);
+    }
+
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect("gbarrier")?;
+        let counts = r.seq(|r| r.u32())?;
+        if counts.len() != self.counts.len() {
+            return Err(SnapError::Corrupt { what: "gbarrier controller count" });
+        }
+        self.counts = counts;
+        let forwarded = r.seq(|r| r.bool())?;
+        if forwarded.len() != self.forwarded.len() {
+            return Err(SnapError::Corrupt { what: "gbarrier controller count" });
+        }
+        self.forwarded = forwarded;
+        let leaf_sent = r.seq(|r| r.bool())?;
+        if leaf_sent.len() != self.leaf_sent.len() {
+            return Err(SnapError::Corrupt { what: "gbarrier core count" });
+        }
+        self.leaf_sent = leaf_sent;
+        if r.usize()? != self.regs.arrive.len() {
+            return Err(SnapError::Corrupt { what: "gbarrier core count" });
+        }
+        for a in &self.regs.arrive {
+            a.set(r.bool()?);
+        }
+        self.wires.load_state(r)?;
+        self.episodes = r.u64()?;
+        Ok(())
     }
 }
 

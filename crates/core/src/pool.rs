@@ -25,6 +25,7 @@
 
 use crate::network::NetworkHealth;
 use crate::regs::GlockRegisters;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -225,6 +226,75 @@ impl GlockPool {
     /// No logical lock has outstanding uses (end-of-run check).
     pub fn is_quiescent(&self) -> bool {
         self.state.borrow().bindings.is_empty()
+    }
+
+    /// Serialize the binding table. The register files and liveness
+    /// handles are shared structure saved by their owning networks; the
+    /// unordered maps are written sorted by logical lock id.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let st = self.state.borrow();
+        w.mark("glock-pool");
+        w.usize(st.owner_of.len());
+        for o in &st.owner_of {
+            w.opt_u64(o.map(u64::from));
+        }
+        for o in &st.reserved_for {
+            w.opt_u64(o.map(u64::from));
+        }
+        let mut ids: Vec<u16> = st.bindings.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let b = st.bindings[&id];
+            w.u16(id);
+            w.opt_u64(b.hw.map(|k| k as u64));
+            w.u32(b.refs);
+        }
+        let mut ids: Vec<u16> = st.heat.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            w.u16(id);
+            w.u32(st.heat[&id]);
+        }
+        for v in [st.stats.binds, st.stats.unbinds, st.stats.spills, st.stats.hw_acquires, st.stats.failovers] {
+            w.u64(v);
+        }
+    }
+
+    pub fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect("glock-pool")?;
+        let mut st = self.state.borrow_mut();
+        if r.usize()? != st.owner_of.len() {
+            return Err(SnapError::Corrupt { what: "glock pool physical lock count" });
+        }
+        for o in st.owner_of.iter_mut() {
+            *o = r.opt_u64()?.map(|v| v as u16);
+        }
+        for o in st.reserved_for.iter_mut() {
+            *o = r.opt_u64()?.map(|v| v as u16);
+        }
+        let n = r.usize()?;
+        st.bindings.clear();
+        for _ in 0..n {
+            let id = r.u16()?;
+            let hw = r.opt_u64()?.map(|k| k as usize);
+            let refs = r.u32()?;
+            st.bindings.insert(id, Binding { hw, refs });
+        }
+        let n = r.usize()?;
+        st.heat.clear();
+        for _ in 0..n {
+            let id = r.u16()?;
+            let heat = r.u32()?;
+            st.heat.insert(id, heat);
+        }
+        st.stats.binds = r.u64()?;
+        st.stats.unbinds = r.u64()?;
+        st.stats.spills = r.u64()?;
+        st.stats.hw_acquires = r.u64()?;
+        st.stats.failovers = r.u64()?;
+        Ok(())
     }
 }
 

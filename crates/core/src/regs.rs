@@ -11,6 +11,7 @@
 //! `Rc<GlockRegisters>` with `Cell` fields — modelling memory-mapped
 //! device registers.
 
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -100,6 +101,31 @@ impl GlockRegisters {
     /// Controller side: observe a pending request (left set until grant).
     pub(crate) fn req_raised(&self, core: usize) -> bool {
         self.lock_req[core].get()
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.lock_req.len());
+        for c in &self.lock_req {
+            w.bool(c.get());
+        }
+        for c in &self.lock_rel {
+            w.bool(c.get());
+        }
+        w.opt_u64(self.holder.get().map(|h| h as u64));
+    }
+
+    pub fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.lock_req.len() {
+            return Err(SnapError::Corrupt { what: "glock register core count" });
+        }
+        for c in &self.lock_req {
+            c.set(r.bool()?);
+        }
+        for c in &self.lock_rel {
+            c.set(r.bool()?);
+        }
+        self.holder.set(r.opt_u64()?.map(|h| h as usize));
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Per-thread execution-time attribution — Figure 8's four categories.
 
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
+
 /// Where a core cycle is spent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Category {
@@ -47,6 +49,21 @@ impl Breakdown {
         self.lock += other.lock;
         self.barrier += other.barrier;
         self.instructions += other.instructions;
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for v in [self.busy, self.memory, self.lock, self.barrier, self.instructions] {
+            w.u64(v);
+        }
+    }
+
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.busy = r.u64()?;
+        self.memory = r.u64()?;
+        self.lock = r.u64()?;
+        self.barrier = r.u64()?;
+        self.instructions = r.u64()?;
+        Ok(())
     }
 
     /// Fractions of the total per category

@@ -5,6 +5,7 @@ use crate::breakdown::{Breakdown, Category};
 use crate::program::{Action, BarrierBackend, LockBackend, Script, Step, Workload};
 use crate::tracker::LockTracker;
 use glocks_mem::MemorySystem;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::trace::TraceMask;
 use glocks_sim_base::{trace_event, CoreId, Cycle, LockId, ThreadId};
 
@@ -187,6 +188,96 @@ impl Core {
                 }
             }
         }
+    }
+
+    /// Serialize this core's dynamic state. The workload and any
+    /// in-progress lock/barrier sub-script save through their traits, so
+    /// this fails with [`SnapError::Unsupported`] unless every piece has
+    /// opted into checkpointing.
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.mark("core");
+        match self.state {
+            State::Ready => w.u8(0),
+            State::Computing(left) => {
+                w.u8(1);
+                w.u64(left);
+            }
+            State::WaitingMem => w.u8(2),
+            State::Finished => w.u8(3),
+        }
+        self.workload.save_state(w)?;
+        w.bool(self.sub.is_some());
+        if let Some(sub) = &self.sub {
+            match sub.kind {
+                SubKind::Acquire(l) => {
+                    w.u8(0);
+                    w.u16(l.0);
+                }
+                SubKind::Release(l) => {
+                    w.u8(1);
+                    w.u16(l.0);
+                }
+                SubKind::Barrier => w.u8(2),
+            }
+            sub.script.save_state(w)?;
+        }
+        w.u64(self.last_value);
+        self.breakdown.save_state(w);
+        w.opt_u64(self.finished_at);
+        w.u64(self.progress_events);
+        w.opt_u64(self.halt_at);
+        Ok(())
+    }
+
+    /// Restore state saved by [`Core::save_state`]. In-progress sub-scripts
+    /// are rebuilt through the backends' `load_*_script` constructors —
+    /// never through `acquire`/`release`/`wait`, whose side effects already
+    /// happened before the checkpoint.
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        backends: &Backends<'_>,
+    ) -> Result<(), SnapError> {
+        r.expect("core")?;
+        self.state = match r.u8()? {
+            0 => State::Ready,
+            1 => State::Computing(r.u64()?),
+            2 => State::WaitingMem,
+            3 => State::Finished,
+            tag => return Err(SnapError::BadTag { what: "core state", tag: u64::from(tag) }),
+        };
+        self.workload.load_state(r)?;
+        self.sub = if r.bool()? {
+            let (kind, script) = match r.u8()? {
+                0 => {
+                    let l = LockId(r.u16()?);
+                    if l.index() >= backends.locks.len() {
+                        return Err(SnapError::Corrupt { what: "core sub-script lock id" });
+                    }
+                    (SubKind::Acquire(l), backends.locks[l.index()].load_acquire_script(self.tid, r)?)
+                }
+                1 => {
+                    let l = LockId(r.u16()?);
+                    if l.index() >= backends.locks.len() {
+                        return Err(SnapError::Corrupt { what: "core sub-script lock id" });
+                    }
+                    (SubKind::Release(l), backends.locks[l.index()].load_release_script(self.tid, r)?)
+                }
+                2 => (SubKind::Barrier, backends.barrier.load_wait_script(self.tid, r)?),
+                tag => {
+                    return Err(SnapError::BadTag { what: "core sub-script kind", tag: u64::from(tag) })
+                }
+            };
+            Some(Sub { script, kind })
+        } else {
+            None
+        };
+        self.last_value = r.u64()?;
+        self.breakdown.load_state(r)?;
+        self.finished_at = r.opt_u64()?;
+        self.progress_events = r.u64()?;
+        self.halt_at = r.opt_u64()?;
+        Ok(())
     }
 
     /// Advance this core by one cycle.

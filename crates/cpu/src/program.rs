@@ -1,6 +1,7 @@
 //! Thread programs, scripts and backend traits.
 
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{LockId, ThreadId};
 
 /// What a workload thread asks its core to do next.
@@ -44,6 +45,14 @@ pub enum Step {
 /// step (the loaded/old value of a `Mem` step, else 0).
 pub trait Script {
     fn resume(&mut self, last: u64) -> Step;
+
+    /// Serialize this script's resumable position for a checkpoint. The
+    /// default refuses: a backend that wants checkpointing must implement
+    /// it on every script it manufactures — silently saving nothing would
+    /// corrupt the restore instead of failing it.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "script snapshot" })
+    }
 }
 
 /// A workload thread: one instance per simulated thread. `next` is called
@@ -51,6 +60,18 @@ pub trait Script {
 /// completed `Mem` action (else 0).
 pub trait Workload {
     fn next(&mut self, last: u64) -> Action;
+
+    /// Serialize the thread's program counter and loop state. Defaults to
+    /// refusing, so only workloads that opted in can be checkpointed.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "workload snapshot" })
+    }
+
+    /// Restore state saved by [`Workload::save_state`] into a freshly
+    /// constructed instance of the same workload.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "workload snapshot" })
+    }
 }
 
 /// A lock implementation: manufactures acquire/release scripts. Backends
@@ -62,11 +83,67 @@ pub trait LockBackend {
     fn release(&self, tid: ThreadId) -> Box<dyn Script>;
     /// Short name for reports ("MCS", "GLock", "TATAS", ...).
     fn name(&self) -> &'static str;
+
+    /// Serialize the backend's shared state (queues, counters, regime
+    /// flags). Per-thread script positions are saved separately through
+    /// [`Script::save_state`]. Defaults to refusing.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "lock backend snapshot" })
+    }
+
+    /// Restore state saved by [`LockBackend::save_state`]. Backends hold
+    /// their mutable state behind interior mutability (the same reason
+    /// `acquire` takes `&self`), so restore does too.
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "lock backend snapshot" })
+    }
+
+    /// Reconstruct an in-progress acquire script from its saved position.
+    /// This must NOT go through [`LockBackend::acquire`]: manufacturing a
+    /// fresh acquire has side effects (queue entries, pool pinning) that
+    /// already happened before the checkpoint and are restored with the
+    /// backend state.
+    fn load_acquire_script(
+        &self,
+        _tid: ThreadId,
+        _r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Err(SnapError::Unsupported { what: "lock backend script restore" })
+    }
+
+    /// Reconstruct an in-progress release script from its saved position.
+    fn load_release_script(
+        &self,
+        _tid: ThreadId,
+        _r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Err(SnapError::Unsupported { what: "lock backend script restore" })
+    }
 }
 
 /// A barrier implementation: manufactures one wait-episode script per call.
 pub trait BarrierBackend {
     fn wait(&self, tid: ThreadId) -> Box<dyn Script>;
+
+    /// Serialize the barrier's shared state. Defaults to refusing.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "barrier backend snapshot" })
+    }
+
+    /// Restore state saved by [`BarrierBackend::save_state`].
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported { what: "barrier backend snapshot" })
+    }
+
+    /// Reconstruct an in-progress wait script (see
+    /// [`LockBackend::load_acquire_script`] for why this bypasses `wait`).
+    fn load_wait_script(
+        &self,
+        _tid: ThreadId,
+        _r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Err(SnapError::Unsupported { what: "barrier backend script restore" })
+    }
 }
 
 /// A trivial script that finishes after a fixed instruction count —
@@ -82,12 +159,24 @@ impl FixedScript {
     }
 }
 
+impl FixedScript {
+    /// Rebuild a script saved via its [`Script::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FixedScript { left: r.opt_u64()? })
+    }
+}
+
 impl Script for FixedScript {
     fn resume(&mut self, _last: u64) -> Step {
         match self.left.take() {
             Some(n) => Step::Compute(n),
             None => Step::Done,
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.opt_u64(self.left);
+        Ok(())
     }
 }
 

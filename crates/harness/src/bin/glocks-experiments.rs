@@ -3,6 +3,8 @@
 //! ```text
 //! glocks-experiments [EXPERIMENT ...] [--quick] [--threads N] [--csv DIR]
 //!                    [--stats-json DIR] [--chrome-trace FILE] [--jobs N]
+//!                    [--journal FILE] [--resume] [--timeout-secs N]
+//!                    [--retries N] [--backoff-ms N]
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
 //!           | table1 | table2 | table3 | table4 | ablations | multiprog
@@ -19,16 +21,34 @@
 //!                    chrome://tracing / Perfetto JSON file
 //! --jobs N           run selected experiments on N worker threads
 //!                    (stats and traces are thread-local, so runs never mix)
+//! --journal FILE     append every run-state transition to a JSONL journal
+//! --resume           skip experiments whose journal row is already done
+//! --timeout-secs N   per-run wall-clock budget; an overstaying run comes
+//!                    back as a transient wedge and is retried
+//! --retries N        retries for transient wedges (default 2)
+//! --backoff-ms N     base backoff between retries, doubling per attempt
+//!
+//! Each experiment runs under catch_unwind: a panicking configuration is
+//! recorded as a `failed` journal row and the rest of the sweep proceeds.
+//! Failed runs print their structured errors after the sweep, in selection
+//! order. Exit code: 0 = all done, 1 = any deterministic failure,
+//! 2 = transient wedges only.
+//!
+//! `--inject-panic NAME` / `--inject-wedge NAME` are self-test hooks (used
+//! by the CI kill-and-resume smoke) that make experiment NAME panic or
+//! exhaust a zero wall-clock budget.
 //! ```
 
 use glocks_harness::{
     ablation, chaos,
     exp::{self, ExpOptions},
-    faults, fig1, fig10, fig7, fig8, fig9, multiprog, table1, table2, table3, table4,
+    faults, fig1, fig10, fig7, fig8, fig9, multiprog,
+    sweep::{self, RunOutput, SweepConfig},
+    table1, table2, table3, table4,
 };
 use glocks_sim_base::trace::{self, TraceMask, TraceRecord};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -42,6 +62,13 @@ struct Cli {
     chrome_trace: Option<String>,
     jobs: usize,
     watchdog: Option<u64>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    timeout_secs: Option<u64>,
+    retries: u32,
+    backoff_ms: u64,
+    inject_panic: Option<String>,
+    inject_wedge: Option<String>,
 }
 
 fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
@@ -196,6 +223,13 @@ fn main() {
         chrome_trace: None,
         jobs: 1,
         watchdog: None,
+        journal: None,
+        resume: false,
+        timeout_secs: None,
+        retries: 2,
+        backoff_ms: 250,
+        inject_panic: None,
+        inject_wedge: None,
     };
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -239,9 +273,46 @@ fn main() {
                         .expect("--watchdog-cycles needs a number of cycles"),
                 );
             }
+            "--journal" => {
+                i += 1;
+                cli.journal = Some(PathBuf::from(args.get(i).expect("--journal needs a file")));
+            }
+            "--resume" => cli.resume = true,
+            "--timeout-secs" => {
+                i += 1;
+                cli.timeout_secs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--timeout-secs needs a number of seconds"),
+                );
+            }
+            "--retries" => {
+                i += 1;
+                cli.retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--retries needs a number");
+            }
+            "--backoff-ms" => {
+                i += 1;
+                cli.backoff_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--backoff-ms needs a number of milliseconds");
+            }
+            "--inject-panic" => {
+                i += 1;
+                cli.inject_panic =
+                    Some(args.get(i).expect("--inject-panic needs an experiment name").clone());
+            }
+            "--inject-wedge" => {
+                i += 1;
+                cli.inject_wedge =
+                    Some(args.get(i).expect("--inject-wedge needs an experiment name").clone());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
                 );
                 return;
             }
@@ -262,44 +333,58 @@ fn main() {
         let _ = std::fs::create_dir_all(dir);
     }
 
+    if cli.resume && cli.journal.is_none() {
+        eprintln!("--resume needs --journal FILE to know what is already done");
+        std::process::exit(2);
+    }
+
     let sweep_start = Instant::now();
     let traces: Mutex<Vec<TraceRecord>> = Mutex::new(Vec::new());
     let n = selected.len();
     let jobs = cli.jobs.min(n).max(1);
-    let mut walls: Vec<(String, f64)> = Vec::with_capacity(n);
-    if jobs == 1 {
-        for name in &selected {
-            let t0 = Instant::now();
-            let out = run_one(name, &cli, &traces);
-            print!("{out}");
-            let secs = t0.elapsed().as_secs_f64();
-            eprintln!("[{name} done in {secs:.1}s]");
-            walls.push((name.clone(), secs));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<(String, f64)>>> = Mutex::new(vec![None; n]);
-        std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    let out = run_one(&selected[i], &cli, &traces);
-                    let secs = t0.elapsed().as_secs_f64();
-                    eprintln!("[{} done in {secs:.1}s]", selected[i]);
-                    results.lock().unwrap()[i] = Some((out, secs));
-                });
-            }
+
+    let sweep_cfg = SweepConfig {
+        jobs,
+        resume: cli.resume,
+        journal: cli.journal.as_deref(),
+        retry: sweep::RetryPolicy { retries: cli.retries, backoff_ms: cli.backoff_ms },
+    };
+    let work = |name: &str, attempt: u32| {
+        // A previous panicked run on this worker thread may have leaked an
+        // open stats session; start clean.
+        glocks_stats::disable();
+        exp::drain_sim_errors();
+        let wedge = cli.inject_wedge.as_deref() == Some(name);
+        exp::set_wall_clock_limit_ms(if wedge {
+            Some(0) // self-test hook: every simulation exceeds instantly
+        } else {
+            cli.timeout_secs.map(|s| s.saturating_mul(1000))
         });
-        for (name, slot) in selected.iter().zip(results.into_inner().unwrap()) {
-            let (out, secs) = slot.expect("worker finished every claimed experiment");
-            print!("{out}");
-            walls.push((name.clone(), secs));
+        if cli.inject_panic.as_deref() == Some(name) {
+            panic!("injected panic in {name} (harness self-test hook)");
         }
-    }
+        let t0 = Instant::now();
+        let out = run_one(name, &cli, &traces);
+        eprintln!("[{name} done in {:.1}s (attempt {attempt})]", t0.elapsed().as_secs_f64());
+        let mut artifacts = Vec::new();
+        if let Some(dir) = &cli.stats_dir {
+            let bench = format!("{dir}/BENCH_{name}.json");
+            if std::path::Path::new(&bench).exists() {
+                artifacts.push(bench);
+            }
+        }
+        RunOutput { output: out, artifacts, errors: exp::drain_sim_errors(), failed: false }
+    };
+    let mut walls: Vec<(String, f64)> = Vec::with_capacity(n);
+    let rows = sweep::run_sweep(&selected, &sweep_cfg, work, |row| {
+        if row.skipped {
+            eprintln!("[sweep] {}: already done in journal, skipped", row.id);
+        } else {
+            print!("{}", row.output);
+            walls.push((row.id.clone(), row.wall_secs));
+        }
+    });
+
     if n > 1 {
         eprintln!("[sweep] per-experiment wall time ({jobs} job{}):", if jobs == 1 { "" } else { "s" });
         for (name, secs) in &walls {
@@ -319,4 +404,38 @@ fn main() {
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
+
+    // Failed and wedged runs report their structured errors last, in
+    // selection order — never interleaved with other runs' summaries.
+    for row in &rows {
+        match row.status {
+            glocks_harness::journal::RunStatus::Failed
+            | glocks_harness::journal::RunStatus::Wedged => {
+                eprintln!(
+                    "[sweep] {} {} after {} attempt{}:",
+                    row.id,
+                    row.status.as_str(),
+                    row.attempts,
+                    if row.attempts == 1 { "" } else { "s" }
+                );
+                for e in &row.errors {
+                    eprintln!(
+                        "[sweep]   {}{}: {}",
+                        e.kind,
+                        if e.transient { " (transient)" } else { "" },
+                        e.detail
+                    );
+                }
+            }
+            _ => {
+                if row.flaky {
+                    eprintln!(
+                        "[sweep] {} was flaky: done on attempt {} after transient wedges",
+                        row.id, row.attempts
+                    );
+                }
+            }
+        }
+    }
+    std::process::exit(sweep::exit_code(&rows));
 }

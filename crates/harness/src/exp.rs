@@ -16,6 +16,13 @@ thread_local! {
     /// Watchdog-window override for subsequent runs on this thread
     /// (`None` = each driver's own choice stands).
     static WATCHDOG: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Per-run wall-clock budget (milliseconds) applied to every
+    /// simulation started on this thread (`None` = unlimited).
+    static WALL_LIMIT: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Structured `SimError`s observed by runs on this thread since the
+    /// last [`drain_sim_errors`] — the sweep engine's failure channel,
+    /// reaching past drivers that tolerate individual dead configurations.
+    static RUN_ERRORS: RefCell<Vec<crate::journal::RunError>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Direct every subsequent [`run_bench`] on *this thread* to record typed
@@ -45,6 +52,29 @@ pub fn set_watchdog_cycles(cycles: Option<u64>) {
 /// The watchdog window [`run_bench_with`] will actually use for `options`.
 pub fn effective_watchdog(options: &SimulationOptions) -> u64 {
     WATCHDOG.with(|w| w.get()).unwrap_or(options.watchdog_cycles)
+}
+
+/// Give every subsequent simulation on *this* thread a wall-clock budget
+/// (cooperative: the runner returns [`SimError::WallClockExceeded`], the
+/// only *transient* failure, when a run overstays). `None` lifts the
+/// budget. Thread-local like [`set_watchdog_cycles`], so `--jobs` workers
+/// time out independently.
+pub fn set_wall_clock_limit_ms(ms: Option<u64>) {
+    WALL_LIMIT.with(|w| w.set(ms));
+}
+
+/// Record a structured error for the sweep engine (done automatically by
+/// [`run_bench_with`]; drivers that run `Simulation` by hand and swallow
+/// the error themselves should call this so the journal still sees it).
+pub fn record_sim_error(e: &SimError) {
+    RUN_ERRORS.with(|r| r.borrow_mut().push(crate::journal::RunError::from_sim_error(e)));
+}
+
+/// Take every error recorded on this thread since the last drain. The
+/// sweep engine drains before and after each run: transient entries make
+/// the run retryable, deterministic ones become journal rows.
+pub fn drain_sim_errors() -> Vec<crate::journal::RunError> {
+    RUN_ERRORS.with(|r| std::mem::take(&mut *r.borrow_mut()))
 }
 
 /// Make a label safe for a filename (`MP-Lock` stays, `MCS/32` would not).
@@ -166,6 +196,9 @@ pub fn run_bench_with(
     mut options: SimulationOptions,
 ) -> Result<RunResult, SimError> {
     options.watchdog_cycles = effective_watchdog(&options);
+    if let Some(ms) = WALL_LIMIT.with(|w| w.get()) {
+        options.wall_clock_limit_ms = Some(ms);
+    }
     let session = open_stats_session(
         &format!("{}_{}_{}t", bench.kind.name(), mapping.label(), bench.threads),
         &[
@@ -183,6 +216,7 @@ pub fn run_bench_with(
             if let Some(s) = session {
                 s.abort();
             }
+            record_sim_error(&e);
             return Err(e);
         }
     };

@@ -1,0 +1,106 @@
+//! The issue's acceptance scenario for the sweep engine, end to end
+//! through the `glocks-experiments` CLI: a `--jobs` sweep containing one
+//! panicking and one wedging configuration completes every healthy row,
+//! records both failures as structured journal entries, and a `--resume`
+//! rerun finishes the remainder without recomputing completed rows.
+
+use glocks_harness::journal::{Journal, RunStatus};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_glocks-experiments"))
+}
+
+#[test]
+fn injected_failures_journal_and_resume_finishes_the_rest() {
+    let dir =
+        std::env::temp_dir().join(format!("glocks_sweep_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep.jsonl");
+
+    // table1 is healthy; table2 panics; fig1's simulations all exhaust a
+    // zero wall-clock budget (a genuine transient SimError, retried once).
+    let out = bin()
+        .args(["table1", "table2", "fig1"])
+        .args(["--quick", "--threads", "4", "--jobs", "2"])
+        .arg("--journal")
+        .arg(&journal)
+        .args(["--inject-panic", "table2", "--inject-wedge", "fig1"])
+        .args(["--retries", "1", "--backoff-ms", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "deterministic failure dominates the exit code; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I —"), "healthy row's output still printed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected panic in table2"), "stderr:\n{stderr}");
+
+    let rows = Journal::replay(&journal).unwrap();
+    assert_eq!(rows["table1"].status, RunStatus::Done);
+    assert_eq!(rows["table2"].status, RunStatus::Failed);
+    assert_eq!(rows["table2"].errors[0].kind, "panic");
+    assert!(!rows["table2"].errors[0].transient);
+    assert_eq!(rows["fig1"].status, RunStatus::Wedged);
+    assert_eq!(rows["fig1"].attempt, 2, "one retry before giving up");
+    assert!(rows["fig1"].errors.iter().any(|e| e.kind == "wall-clock-exceeded" && e.transient));
+
+    // Resume without the injections: the done row must not recompute.
+    let out = bin()
+        .args(["table1", "table2", "fig1"])
+        .args(["--quick", "--threads", "4", "--jobs", "2", "--resume"])
+        .arg("--journal")
+        .arg(&journal)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("table1: already done in journal, skipped"),
+        "stderr:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("Table I —"), "skipped rows print nothing");
+    assert!(stdout.contains("Figure 1"), "previously wedged row now completes");
+
+    let rows = Journal::replay(&journal).unwrap();
+    assert_eq!(rows["table1"].status, RunStatus::Skipped);
+    assert_eq!(rows["table2"].status, RunStatus::Done);
+    assert_eq!(rows["fig1"].status, RunStatus::Done);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wedges_alone_exit_2() {
+    let dir = std::env::temp_dir().join(format!("glocks_sweep_wedge_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let out = bin()
+        .args(["table1", "fig1"])
+        .args(["--quick", "--threads", "4"])
+        .arg("--journal")
+        .arg(dir.join("sweep.jsonl"))
+        .args(["--inject-wedge", "fig1", "--retries", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "transient-only sweeps exit 2; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,6 +5,7 @@
 use crate::layout::slot;
 use glocks_cpu::{LockBackend, Script, Step};
 use glocks_mem::{MemOp, RmwKind};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -91,6 +92,17 @@ impl Script for AndersonAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.state {
+            AcqState::TakeIndex => 0,
+            AcqState::GotIndex => 1,
+            AcqState::Spinning => 2,
+        });
+        w.u64(self.needed);
+        w.u64(self.spin_addr.0);
+        Ok(())
+    }
 }
 
 enum RelState {
@@ -109,6 +121,17 @@ impl Script for AndersonRelease {
             RelState::Bump(addr) => Step::Mem(MemOp::Rmw(addr, RmwKind::FetchAdd(1))),
             RelState::Finished => Step::Done,
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.state {
+            RelState::Bump(addr) => {
+                w.u8(0);
+                w.u64(addr.0);
+            }
+            RelState::Finished => w.u8(1),
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +158,71 @@ impl LockBackend for AndersonLock {
 
     fn name(&self) -> &'static str {
         "Anderson"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.my_index.len());
+        for t in &self.my_index {
+            w.u64(t.get());
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.my_index.len() {
+            return Err(SnapError::Corrupt { what: "anderson lock thread count" });
+        }
+        for t in &self.my_index {
+            t.set(r.u64()?);
+        }
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => AcqState::TakeIndex,
+            1 => AcqState::GotIndex,
+            2 => AcqState::Spinning,
+            tag => {
+                return Err(SnapError::BadTag {
+                    what: "anderson acquire state",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        let needed = r.u64()?;
+        let spin_addr = Addr(r.u64()?);
+        Ok(Box::new(AndersonAcquire {
+            tail: self.tail(),
+            n: self.n,
+            base: self.base,
+            state,
+            my_index: Rc::clone(&self.my_index[tid.index()]),
+            needed,
+            spin_addr,
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        _tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => RelState::Bump(Addr(r.u64()?)),
+            1 => RelState::Finished,
+            tag => {
+                return Err(SnapError::BadTag {
+                    what: "anderson release state",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        Ok(Box::new(AndersonRelease { state }))
     }
 }
 

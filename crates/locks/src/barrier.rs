@@ -15,6 +15,7 @@
 use crate::layout::slot;
 use glocks_cpu::{BarrierBackend, Script, Step};
 use glocks_mem::{MemOp, RmwKind};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -197,6 +198,29 @@ impl Script for TreeWait {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.episode);
+        w.usize(self.level);
+        w.usize(self.group);
+        w.usize(self.owned.len());
+        for &n in &self.owned {
+            w.usize(n);
+        }
+        w.usize(self.rel_pos);
+        match self.phase {
+            Phase::Start => w.u8(0),
+            Phase::Arrived => w.u8(1),
+            Phase::Spinning(node) => {
+                w.u8(2);
+                w.usize(node);
+            }
+            Phase::ReleaseCount => w.u8(3),
+            Phase::ReleaseSense => w.u8(4),
+            Phase::Finish => w.u8(5),
+        }
+        Ok(())
+    }
 }
 
 impl BarrierBackend for TreeBarrier {
@@ -214,6 +238,62 @@ impl BarrierBackend for TreeBarrier {
             rel_pos: 0,
             phase: Phase::Start,
         })
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.episodes.len());
+        for e in &self.episodes {
+            w.u64(e.get());
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.episodes.len() {
+            return Err(SnapError::Corrupt { what: "tree barrier thread count" });
+        }
+        for e in &self.episodes {
+            e.set(r.u64()?);
+        }
+        Ok(())
+    }
+
+    fn load_wait_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let episode = r.u64()?;
+        let level = r.usize()?;
+        let group = r.usize()?;
+        let n_owned = r.usize()?;
+        let mut owned = Vec::with_capacity(n_owned);
+        for _ in 0..n_owned {
+            owned.push(r.usize()?);
+        }
+        let rel_pos = r.usize()?;
+        let phase = match r.u8()? {
+            0 => Phase::Start,
+            1 => Phase::Arrived,
+            2 => Phase::Spinning(r.usize()?),
+            3 => Phase::ReleaseCount,
+            4 => Phase::ReleaseSense,
+            5 => Phase::Finish,
+            tag => {
+                return Err(SnapError::BadTag { what: "tree wait phase", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(TreeWait {
+            shape: Rc::clone(&self.shape),
+            base: self.base,
+            tid: tid.index(),
+            episode,
+            level,
+            group,
+            owned,
+            rel_pos,
+            phase,
+        }))
     }
 }
 

@@ -8,6 +8,7 @@
 use crate::tatas::TatasLock;
 use glocks::pool::{GlockPool, PoolDecision};
 use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -113,6 +114,44 @@ impl Script for DynAcquire {
             AcqPhase::Fallback => self.inner.resume(last),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.phase {
+            AcqPhase::Consult => w.u8(0),
+            AcqPhase::GlockSet(k) => {
+                w.u8(1);
+                w.usize(k);
+            }
+            AcqPhase::GlockSpin(k) => {
+                w.u8(2);
+                w.usize(k);
+            }
+            AcqPhase::DrainWait(k) => {
+                w.u8(3);
+                w.usize(k);
+            }
+            AcqPhase::Fallback => w.u8(4),
+        }
+        self.inner.save_state(w)
+    }
+}
+
+fn decision_tag(w: &mut SnapWriter, d: PoolDecision) {
+    match d {
+        PoolDecision::Hardware(k) => {
+            w.u8(0);
+            w.usize(k);
+        }
+        PoolDecision::Software => w.u8(1),
+    }
+}
+
+fn decision_from(r: &mut SnapReader<'_>, what: &'static str) -> Result<PoolDecision, SnapError> {
+    match r.u8()? {
+        0 => Ok(PoolDecision::Hardware(r.usize()?)),
+        1 => Ok(PoolDecision::Software),
+        tag => Err(SnapError::BadTag { what, tag: u64::from(tag) }),
+    }
 }
 
 enum RelPhase {
@@ -157,6 +196,20 @@ impl Script for DynRelease {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        decision_tag(w, self.decision);
+        w.u8(match self.phase {
+            RelPhase::Start => 0,
+            RelPhase::GlockDone => 1,
+            RelPhase::Fallback => 2,
+        });
+        w.bool(self.inner.is_some());
+        if let Some(inner) = &self.inner {
+            inner.save_state(w)?;
+        }
+        Ok(())
+    }
 }
 
 impl LockBackend for DynamicGlockBackend {
@@ -189,6 +242,103 @@ impl LockBackend for DynamicGlockBackend {
 
     fn name(&self) -> &'static str {
         "DynGLock"
+    }
+
+    // The pool's binding table is shared structure saved once at sim level.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.path.len());
+        for cell in &self.path {
+            match cell.get() {
+                None => w.u8(0),
+                Some(PoolDecision::Hardware(k)) => {
+                    w.u8(1);
+                    w.usize(k);
+                }
+                Some(PoolDecision::Software) => w.u8(2),
+            }
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.path.len() {
+            return Err(SnapError::Corrupt { what: "dynamic lock thread count" });
+        }
+        for cell in &self.path {
+            cell.set(match r.u8()? {
+                0 => None,
+                1 => Some(PoolDecision::Hardware(r.usize()?)),
+                2 => Some(PoolDecision::Software),
+                tag => {
+                    return Err(SnapError::BadTag {
+                        what: "dynamic path decision",
+                        tag: u64::from(tag),
+                    })
+                }
+            });
+        }
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => AcqPhase::Consult,
+            1 => AcqPhase::GlockSet(r.usize()?),
+            2 => AcqPhase::GlockSpin(r.usize()?),
+            3 => AcqPhase::DrainWait(r.usize()?),
+            4 => AcqPhase::Fallback,
+            tag => {
+                return Err(SnapError::BadTag {
+                    what: "dynamic acquire phase",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        let inner = self.fallback.load_acquire_script(tid, r)?;
+        Ok(Box::new(DynAcquire {
+            pool: Rc::clone(&self.pool),
+            logical: self.logical,
+            tid,
+            phase,
+            inner,
+            path_out: Rc::clone(&self.path[tid.index()]),
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let decision = decision_from(r, "dynamic release decision")?;
+        let phase = match r.u8()? {
+            0 => RelPhase::Start,
+            1 => RelPhase::GlockDone,
+            2 => RelPhase::Fallback,
+            tag => {
+                return Err(SnapError::BadTag {
+                    what: "dynamic release phase",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        let inner = if r.bool()? {
+            Some(self.fallback.load_release_script(tid, r)?)
+        } else {
+            None
+        };
+        Ok(Box::new(DynRelease {
+            pool: Rc::clone(&self.pool),
+            logical: self.logical,
+            tid,
+            decision,
+            phase,
+            inner,
+        }))
     }
 }
 

@@ -34,6 +34,7 @@ use crate::tatas::TatasLock;
 use glocks::network::NetworkHealth;
 use glocks::GlockRegisters;
 use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -151,6 +152,16 @@ impl Script for FoAcquire {
             AcqPhase::Fallback => self.inner.resume(last),
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            AcqPhase::SetReq => 0,
+            AcqPhase::Spin => 1,
+            AcqPhase::DrainWait => 2,
+            AcqPhase::Fallback => 3,
+        });
+        self.inner.save_state(w)
+    }
 }
 
 struct FoRelease {
@@ -177,6 +188,15 @@ impl Script for FoRelease {
             // mov 1, lock_rel
             Step::Compute(1)
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.bool(self.inner.is_some());
+        if let Some(inner) = &self.inner {
+            inner.save_state(w)?;
+        }
+        w.bool(self.done);
+        Ok(())
     }
 }
 
@@ -207,6 +227,88 @@ impl LockBackend for FailoverGlockBackend {
 
     fn name(&self) -> &'static str {
         "GLock+FO"
+    }
+
+    // `regs` and `health` are shared structure saved by the owning network.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.path.len());
+        for cell in &self.path {
+            w.u8(match cell.get() {
+                None => 0,
+                Some(Path::Hardware) => 1,
+                Some(Path::Software) => 2,
+            });
+        }
+        w.u64(self.failovers.get());
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.path.len() {
+            return Err(SnapError::Corrupt { what: "failover lock thread count" });
+        }
+        for cell in &self.path {
+            cell.set(match r.u8()? {
+                0 => None,
+                1 => Some(Path::Hardware),
+                2 => Some(Path::Software),
+                tag => {
+                    return Err(SnapError::BadTag {
+                        what: "failover path",
+                        tag: u64::from(tag),
+                    })
+                }
+            });
+        }
+        self.failovers.set(r.u64()?);
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => AcqPhase::SetReq,
+            1 => AcqPhase::Spin,
+            2 => AcqPhase::DrainWait,
+            3 => AcqPhase::Fallback,
+            tag => {
+                return Err(SnapError::BadTag {
+                    what: "failover acquire phase",
+                    tag: u64::from(tag),
+                })
+            }
+        };
+        let inner = self.fallback.load_acquire_script(tid, r)?;
+        Ok(Box::new(FoAcquire {
+            regs: Rc::clone(&self.regs),
+            health: Rc::clone(&self.health),
+            core: tid.index(),
+            phase,
+            inner,
+            path_out: Rc::clone(&self.path[tid.index()]),
+            failovers: Rc::clone(&self.failovers),
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let inner = if r.bool()? {
+            Some(self.fallback.load_release_script(tid, r)?)
+        } else {
+            None
+        };
+        Ok(Box::new(FoRelease {
+            regs: Rc::clone(&self.regs),
+            core: tid.index(),
+            inner,
+            done: r.bool()?,
+        }))
     }
 }
 
@@ -319,6 +421,86 @@ mod tests {
         assert_eq!(out.counter_value, 12);
         let [net] = nets;
         assert!(net.stats().grants < 12, "hardware cannot serve all tenures");
+    }
+
+    /// Drive a real mid-failover state — one thread holding through the
+    /// hardware path, another parked in `DrainWait` after the line died —
+    /// and round-trip both the backend and the in-flight acquire through
+    /// the snapshot codec. The restored script must re-encode to the exact
+    /// same bytes and behave identically: keep draining while the pre-death
+    /// holder is inside its critical section, then replay on the software
+    /// path the moment the drain signal lands.
+    #[test]
+    fn drain_wait_acquire_round_trips_through_a_snapshot() {
+        use glocks_sim_base::snap::{SnapReader, SnapWriter};
+
+        let mesh = Mesh2D::near_square(4);
+        let mut net = GlockNetwork::new(&Topology::flat(mesh), 1);
+        let b = FailoverGlockBackend::new(net.regs(), net.health(), Addr(0x1000), 4);
+
+        // Thread 0 acquires through the healthy hardware path.
+        let mut s0 = b.acquire(ThreadId(0));
+        let mut now = 0;
+        while !matches!(s0.resume(0), Step::Done) {
+            net.tick(now);
+            now += 1;
+            assert!(now < 1_000, "healthy grant never arrived");
+        }
+        // Thread 1 requests while the token is out, then the line dies;
+        // failure detection must escalate to the death verdict.
+        let mut s1 = b.acquire(ThreadId(1));
+        assert!(matches!(s1.resume(0), Step::Compute(1))); // SetReq → Spin
+        net.schedule_line_kill(now);
+        while !net.health().is_dead() {
+            net.tick(now);
+            now += 1;
+            assert!(now < 100_000, "death verdict never reached");
+        }
+        assert!(matches!(s1.resume(0), Step::Compute(1))); // Spin → DrainWait
+        assert!(matches!(s1.resume(0), Step::Compute(1))); // still draining
+        assert_eq!(b.failovers.get(), 1);
+
+        // Snapshot the backend and the mid-drain script. The script's
+        // first byte is its phase tag — it must be DrainWait (2).
+        let mut w = SnapWriter::new();
+        b.save_state(&mut w).unwrap();
+        let backend_len = {
+            let mut bw = SnapWriter::new();
+            b.save_state(&mut bw).unwrap();
+            bw.into_bytes().len()
+        };
+        s1.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[backend_len], 2, "phase tag must be DrainWait");
+
+        // Restore into a freshly built twin sharing the same hardware
+        // (regs/health are network state, restored by the network's own
+        // snapshot path in a full-machine resume).
+        let b2 = FailoverGlockBackend::new(net.regs(), net.health(), Addr(0x1000), 4);
+        let mut r = SnapReader::new(&bytes);
+        b2.load_state(&mut r).unwrap();
+        let mut s1r = b2.load_acquire_script(ThreadId(1), &mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "decode must consume exactly what encode wrote");
+        assert_eq!(b2.failovers.get(), 1);
+        assert_eq!(b2.path[1].get(), Some(Path::Software));
+
+        // Re-encoding the restored state is byte-identical.
+        let mut w2 = SnapWriter::new();
+        b2.save_state(&mut w2).unwrap();
+        s1r.save_state(&mut w2).unwrap();
+        assert_eq!(w2.into_bytes(), bytes, "restored state must re-encode identically");
+
+        // Behavior parity: both keep draining while thread 0 holds...
+        assert_eq!(s1r.resume(0), Step::Compute(1));
+        assert_eq!(s1.resume(0), Step::Compute(1));
+        // ...and the register write of thread 0's release is the drain
+        // signal that lets the restored script replay on TATAS.
+        let mut rel = b.release(ThreadId(0));
+        while !matches!(rel.resume(0), Step::Done) {}
+        assert!(b.regs.hw_drained());
+        let step = s1r.resume(0);
+        assert_eq!(step, s1.resume(0), "restored script must step in lockstep");
+        assert!(matches!(step, Step::Mem(_)), "drained: replay starts on the software path");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use glocks::barrier::BarrierRegs;
 use glocks_cpu::{BarrierBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::ThreadId;
 use std::rc::Rc;
 
@@ -49,6 +50,14 @@ impl Script for GBarrierWait {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            Phase::Arrive => 0,
+            Phase::Spin => 1,
+        });
+        Ok(())
+    }
 }
 
 impl BarrierBackend for GBarrierBackend {
@@ -58,6 +67,30 @@ impl BarrierBackend for GBarrierBackend {
             core: tid.index(),
             phase: Phase::Arrive,
         })
+    }
+
+    // Registers are shared structure saved by the owning GBarrierNetwork.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_wait_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => Phase::Arrive,
+            1 => Phase::Spin,
+            tag => {
+                return Err(SnapError::BadTag { what: "gbarrier wait phase", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(GBarrierWait { regs: Rc::clone(&self.regs), core: tid.index(), phase }))
     }
 }
 

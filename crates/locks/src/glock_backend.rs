@@ -12,6 +12,7 @@
 
 use glocks::GlockRegisters;
 use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::ThreadId;
 use std::rc::Rc;
 
@@ -58,6 +59,14 @@ impl Script for GlockAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            AcqPhase::SetReq => 0,
+            AcqPhase::Spin => 1,
+        });
+        Ok(())
+    }
 }
 
 /// `GL_Unlock`: a single register write; the controller propagates REL.
@@ -77,6 +86,11 @@ impl Script for GlockRelease {
             // mov 1, lock_rel
             Step::Compute(1)
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.bool(self.done);
+        Ok(())
     }
 }
 
@@ -99,6 +113,42 @@ impl LockBackend for GlockBackend {
 
     fn name(&self) -> &'static str {
         "GLock"
+    }
+
+    // The register file is shared structure saved by the owning GlockNetwork.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => AcqPhase::SetReq,
+            1 => AcqPhase::Spin,
+            tag => {
+                return Err(SnapError::BadTag { what: "glock acquire phase", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(GlockAcquire { regs: Rc::clone(&self.regs), core: tid.index(), phase }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Ok(Box::new(GlockRelease {
+            regs: Rc::clone(&self.regs),
+            core: tid.index(),
+            done: r.bool()?,
+        }))
     }
 }
 

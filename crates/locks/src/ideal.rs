@@ -6,6 +6,7 @@
 //! acquisition and release operations take a single clock cycle each").
 
 use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::ThreadId;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -63,6 +64,14 @@ impl Script for IdealAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            AcqPhase::Enqueue => 0,
+            AcqPhase::Poll => 1,
+        });
+        Ok(())
+    }
 }
 
 struct IdealRelease {
@@ -84,6 +93,11 @@ impl Script for IdealRelease {
             Step::Compute(1)
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.bool(self.done);
+        Ok(())
+    }
 }
 
 impl LockBackend for IdealLock {
@@ -101,6 +115,50 @@ impl LockBackend for IdealLock {
 
     fn name(&self) -> &'static str {
         "Ideal"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        let s = self.state.borrow();
+        w.opt_u64(s.holder.map(|t| u64::from(t.0)));
+        w.usize(s.queue.len());
+        for t in &s.queue {
+            w.u16(t.0);
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = self.state.borrow_mut();
+        s.holder = r.opt_u64()?.map(|v| ThreadId(v as u16));
+        let n = r.usize()?;
+        s.queue.clear();
+        for _ in 0..n {
+            s.queue.push_back(ThreadId(r.u16()?));
+        }
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => AcqPhase::Enqueue,
+            1 => AcqPhase::Poll,
+            tag => {
+                return Err(SnapError::BadTag { what: "ideal acquire phase", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(IdealAcquire { state: Rc::clone(&self.state), tid, phase }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Ok(Box::new(IdealRelease { state: Rc::clone(&self.state), tid, done: r.bool()? }))
     }
 }
 

@@ -5,6 +5,7 @@
 use crate::layout::slot;
 use glocks_cpu::{LockBackend, Script, Step};
 use glocks_mem::{MemOp, RmwKind};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 
 /// MCS lock memory layout:
@@ -93,6 +94,21 @@ impl Script for McsAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.state {
+            AcqState::ClearNext => w.u8(0),
+            AcqState::Swap => w.u8(1),
+            AcqState::GotPred => w.u8(2),
+            AcqState::SetLocked { pred_next } => {
+                w.u8(3);
+                w.u64(pred_next.0);
+            }
+            AcqState::Linked => w.u8(4),
+            AcqState::Spinning => w.u8(5),
+        }
+        Ok(())
+    }
 }
 
 enum RelState {
@@ -168,6 +184,21 @@ impl Script for McsRelease {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.state {
+            RelState::ReadNext => w.u8(0),
+            RelState::GotNext => w.u8(1),
+            RelState::CasIssued => w.u8(2),
+            RelState::WaitLink => w.u8(3),
+            RelState::Unlock { locked_addr } => {
+                w.u8(4);
+                w.u64(locked_addr.0);
+            }
+            RelState::Finished => w.u8(5),
+        }
+        Ok(())
+    }
 }
 
 impl LockBackend for McsLock {
@@ -192,6 +223,60 @@ impl LockBackend for McsLock {
 
     fn name(&self) -> &'static str {
         "MCS"
+    }
+
+    // The queue (tail pointer, qnodes) lives entirely in simulated memory.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => AcqState::ClearNext,
+            1 => AcqState::Swap,
+            2 => AcqState::GotPred,
+            3 => AcqState::SetLocked { pred_next: Addr(r.u64()?) },
+            4 => AcqState::Linked,
+            5 => AcqState::Spinning,
+            tag => return Err(SnapError::BadTag { what: "mcs acquire state", tag: u64::from(tag) }),
+        };
+        Ok(Box::new(McsAcquire {
+            tail: self.tail(),
+            my_node: self.qnode_next(tid).0,
+            my_next: self.qnode_next(tid),
+            my_locked: self.qnode_locked(tid),
+            state,
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => RelState::ReadNext,
+            1 => RelState::GotNext,
+            2 => RelState::CasIssued,
+            3 => RelState::WaitLink,
+            4 => RelState::Unlock { locked_addr: Addr(r.u64()?) },
+            5 => RelState::Finished,
+            tag => return Err(SnapError::BadTag { what: "mcs release state", tag: u64::from(tag) }),
+        };
+        Ok(Box::new(McsRelease {
+            tail: self.tail(),
+            my_node: self.qnode_next(tid).0,
+            my_next: self.qnode_next(tid),
+            state,
+        }))
     }
 }
 

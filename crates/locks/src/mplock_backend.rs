@@ -8,6 +8,7 @@
 
 use glocks_cpu::{LockBackend, Script, Step};
 use glocks_mem::mplock::MpFabric;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{CoreId, ThreadId};
 use std::rc::Rc;
 
@@ -56,6 +57,14 @@ impl Script for MpAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            AcqPhase::Send => 0,
+            AcqPhase::Spin => 1,
+        });
+        Ok(())
+    }
 }
 
 struct MpRelease {
@@ -74,6 +83,11 @@ impl Script for MpRelease {
             self.fabric.release(self.core, self.lock_id);
             Step::Compute(2)
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.bool(self.done);
+        Ok(())
     }
 }
 
@@ -98,6 +112,48 @@ impl LockBackend for MpLockBackend {
 
     fn name(&self) -> &'static str {
         "MP-Lock"
+    }
+
+    // The fabric (outbox, grant flags) is saved with the memory system.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let phase = match r.u8()? {
+            0 => AcqPhase::Send,
+            1 => AcqPhase::Spin,
+            tag => {
+                return Err(SnapError::BadTag { what: "mp-lock acquire phase", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(MpAcquire {
+            fabric: Rc::clone(&self.fabric),
+            lock_id: self.lock_id,
+            core: CoreId(tid.0),
+            phase,
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Ok(Box::new(MpRelease {
+            fabric: Rc::clone(&self.fabric),
+            lock_id: self.lock_id,
+            core: CoreId(tid.0),
+            done: r.bool()?,
+        }))
     }
 }
 

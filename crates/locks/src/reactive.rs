@@ -14,6 +14,7 @@
 use crate::mcs::McsLock;
 use crate::tatas::TatasLock;
 use glocks_cpu::{LockBackend, Script, Step};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -93,9 +94,27 @@ impl ReactiveLock {
     }
 }
 
+fn mode_tag(mode: Mode) -> u8 {
+    match mode {
+        Mode::Tatas => 0,
+        Mode::Mcs => 1,
+    }
+}
+
+fn mode_from_tag(tag: u8, what: &'static str) -> Result<Mode, SnapError> {
+    match tag {
+        0 => Ok(Mode::Tatas),
+        1 => Ok(Mode::Mcs),
+        t => Err(SnapError::BadTag { what, tag: u64::from(t) }),
+    }
+}
+
 /// Wraps the chosen protocol's script and charges a small decision cost.
+/// `mode` records which protocol `inner` belongs to so a snapshot can
+/// rebuild it through the right backend.
 struct ReactiveScript {
     inner: Box<dyn Script>,
+    mode: Mode,
     decided: bool,
 }
 
@@ -108,11 +127,18 @@ impl Script for ReactiveScript {
         }
         self.inner.resume(last)
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(mode_tag(self.mode));
+        w.bool(self.decided);
+        self.inner.save_state(w)
+    }
 }
 
 /// Release wrapper that drops the reference count once done.
 struct ReactiveRelease {
     inner: Box<dyn Script>,
+    mode: Mode,
     refs: Rc<Cell<u32>>,
     done: bool,
 }
@@ -125,6 +151,12 @@ impl Script for ReactiveRelease {
             self.refs.set(self.refs.get() - 1);
         }
         step
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(mode_tag(self.mode));
+        w.bool(self.done);
+        self.inner.save_state(w)
     }
 }
 
@@ -157,7 +189,7 @@ impl LockBackend for ReactiveBackend {
             Mode::Tatas => self.lock.tatas.acquire(tid),
             Mode::Mcs => self.lock.mcs.acquire(tid),
         };
-        Box::new(ReactiveScript { inner, decided: false })
+        Box::new(ReactiveScript { inner, mode, decided: false })
     }
 
     fn release(&self, tid: ThreadId) -> Box<dyn Script> {
@@ -168,11 +200,73 @@ impl LockBackend for ReactiveBackend {
             Mode::Tatas => self.lock.tatas.release(tid),
             Mode::Mcs => self.lock.mcs.release(tid),
         };
-        Box::new(ReactiveRelease { inner, refs: Rc::clone(&self.refs), done: false })
+        Box::new(ReactiveRelease { inner, mode, refs: Rc::clone(&self.refs), done: false })
     }
 
     fn name(&self) -> &'static str {
         "Reactive"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(mode_tag(self.lock.mode.get()));
+        w.u32(self.lock.refs.get());
+        w.f64(self.lock.estimate.get());
+        w.u64(self.lock.switches.get());
+        w.usize(self.lock.path.len());
+        for cell in &self.lock.path {
+            match cell.get() {
+                None => w.u8(0),
+                Some(m) => w.u8(1 + mode_tag(m)),
+            }
+        }
+        w.u32(self.refs.get());
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.lock.mode.set(mode_from_tag(r.u8()?, "reactive mode")?);
+        self.lock.refs.set(r.u32()?);
+        self.lock.estimate.set(r.f64()?);
+        self.lock.switches.set(r.u64()?);
+        if r.usize()? != self.lock.path.len() {
+            return Err(SnapError::Corrupt { what: "reactive lock thread count" });
+        }
+        for cell in &self.lock.path {
+            cell.set(match r.u8()? {
+                0 => None,
+                t => Some(mode_from_tag(t - 1, "reactive path mode")?),
+            });
+        }
+        self.refs.set(r.u32()?);
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let mode = mode_from_tag(r.u8()?, "reactive acquire mode")?;
+        let decided = r.bool()?;
+        let inner = match mode {
+            Mode::Tatas => self.lock.tatas.load_acquire_script(tid, r)?,
+            Mode::Mcs => self.lock.mcs.load_acquire_script(tid, r)?,
+        };
+        Ok(Box::new(ReactiveScript { inner, mode, decided }))
+    }
+
+    fn load_release_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let mode = mode_from_tag(r.u8()?, "reactive release mode")?;
+        let done = r.bool()?;
+        let inner = match mode {
+            Mode::Tatas => self.lock.tatas.load_release_script(tid, r)?,
+            Mode::Mcs => self.lock.mcs.load_release_script(tid, r)?,
+        };
+        Ok(Box::new(ReactiveRelease { inner, mode, refs: Rc::clone(&self.refs), done }))
     }
 }
 
@@ -226,5 +320,82 @@ mod tests {
         }
         assert_eq!(b.inner().current_mode(), Mode::Mcs, "high contention must switch");
         assert!(b.inner().switches() >= 1);
+    }
+
+    /// Snapshot the lock just after a protocol switch, with an acquire and
+    /// a release in flight under the *new* (MCS) protocol, and restore into
+    /// a fresh backend that starts in its initial TATAS mode. The restored
+    /// backend must come back in MCS mode with the EWMA estimate and switch
+    /// count intact, the scripts must decode through the protocol recorded
+    /// in the snapshot (not the backend's construction-time mode), and
+    /// everything must re-encode byte-identically.
+    #[test]
+    fn mid_switch_scripts_round_trip_through_a_snapshot() {
+        use glocks_sim_base::snap::{SnapReader, SnapWriter};
+        let base = glocks_sim_base::Addr(0x10_000);
+
+        let b = ReactiveBackend::new(base, 8);
+        // Pump contention until the protocol switches to MCS (same drive
+        // as `contended_run_switches_to_mcs`).
+        let mut rounds = 0;
+        while b.inner().current_mode() == Mode::Tatas {
+            rounds += 1;
+            assert!(rounds < 16, "contention must push the EWMA over the high-water mark");
+            let _scripts: Vec<_> = (0..8).map(|t| b.acquire(ThreadId(t))).collect();
+            for t in 0..8 {
+                let mut r = b.release(ThreadId(t));
+                for _ in 0..64 {
+                    if matches!(r.resume(0), Step::Done) {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(b.inner().current_mode(), Mode::Mcs);
+
+        // Thread 3 runs a full MCS tenure and leaves its release half-done;
+        // thread 2 has an MCS acquire in flight past the decision branch.
+        let mut a3 = b.acquire(ThreadId(3));
+        for _ in 0..64 {
+            if matches!(a3.resume(0), Step::Done) {
+                break;
+            }
+        }
+        let mut rel3 = b.release(ThreadId(3));
+        assert!(!matches!(rel3.resume(0), Step::Done), "release must be mid-flight");
+        let mut s2 = b.acquire(ThreadId(2));
+        assert_eq!(s2.resume(0), Step::Compute(3)); // the mode-decision branch
+        assert!(matches!(s2.resume(0), Step::Mem(_))); // first MCS queue op
+
+        let mut w = SnapWriter::new();
+        b.save_state(&mut w).unwrap();
+        s2.save_state(&mut w).unwrap();
+        rel3.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+
+        // A fresh twin starts in TATAS mode; the snapshot must carry the
+        // switched protocol over.
+        let b2 = ReactiveBackend::new(base, 8);
+        assert_eq!(b2.inner().current_mode(), Mode::Tatas);
+        let mut r = SnapReader::new(&bytes);
+        b2.load_state(&mut r).unwrap();
+        let mut s2r = b2.load_acquire_script(ThreadId(2), &mut r).unwrap();
+        let mut rel3r = b2.load_release_script(ThreadId(3), &mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "decode must consume exactly what encode wrote");
+        assert_eq!(b2.inner().current_mode(), Mode::Mcs);
+        assert_eq!(b2.inner().switches(), b.inner().switches());
+        assert_eq!(b2.inner().estimate.get(), b.inner().estimate.get());
+        assert_eq!(b2.lock.path[2].get(), Some(Mode::Mcs));
+        assert_eq!(b2.refs.get(), b.refs.get());
+
+        let mut w2 = SnapWriter::new();
+        b2.save_state(&mut w2).unwrap();
+        s2r.save_state(&mut w2).unwrap();
+        rel3r.save_state(&mut w2).unwrap();
+        assert_eq!(w2.into_bytes(), bytes, "restored state must re-encode identically");
+
+        // Behavior parity, step by step with the same spoofed values.
+        assert_eq!(s2r.resume(0), s2.resume(0));
+        assert_eq!(rel3r.resume(0), rel3.resume(0));
     }
 }

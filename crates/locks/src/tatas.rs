@@ -4,6 +4,7 @@
 use crate::layout::slot;
 use glocks_cpu::{LockBackend, Script, Step};
 use glocks_mem::{MemOp, RmwKind};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 
 /// Back-off parameters (Anderson found exponential back-off the most
@@ -97,6 +98,17 @@ impl Script for TatasAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.state {
+            AcqState::Try => 0,
+            AcqState::Tested => 1,
+            AcqState::SetIssued => 2,
+            AcqState::BackedOff => 3,
+        });
+        w.u64(self.delay);
+        Ok(())
+    }
 }
 
 struct TatasRelease {
@@ -113,6 +125,11 @@ impl Script for TatasRelease {
             // Toggle the flag back from true to false.
             Step::Mem(MemOp::Store(self.flag, 0))
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.bool(self.done);
+        Ok(())
     }
 }
 
@@ -137,6 +154,46 @@ impl LockBackend for TatasLock {
             (true, false) => "TATAS",
             (true, true) => "TATAS-BO",
         }
+    }
+
+    // The lock word itself lives in simulated memory (saved with the
+    // memory system); the backend carries no dynamic state of its own.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_state(&self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        _tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => AcqState::Try,
+            1 => AcqState::Tested,
+            2 => AcqState::SetIssued,
+            3 => AcqState::BackedOff,
+            tag => return Err(SnapError::BadTag { what: "tatas acquire state", tag: u64::from(tag) }),
+        };
+        let delay = r.u64()?;
+        Ok(Box::new(TatasAcquire {
+            flag: self.flag,
+            test_first: self.test_first,
+            backoff: self.backoff,
+            delay,
+            state,
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        _tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Ok(Box::new(TatasRelease { flag: self.flag, done: r.bool()? }))
     }
 }
 

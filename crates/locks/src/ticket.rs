@@ -4,6 +4,7 @@
 use crate::layout::slot;
 use glocks_cpu::{LockBackend, Script, Step};
 use glocks_mem::{MemOp, RmwKind};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, ThreadId};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -63,6 +64,15 @@ impl Script for TicketAcquire {
             }
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.state {
+            AcqState::TakeTicket => 0,
+            AcqState::GotTicket => 1,
+            AcqState::Spinning => 2,
+        });
+        Ok(())
+    }
 }
 
 struct TicketRelease {
@@ -80,6 +90,12 @@ impl Script for TicketRelease {
             // now_serving := my_ticket + 1
             Step::Mem(MemOp::Store(self.serving, self.next))
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.next);
+        w.bool(self.done);
+        Ok(())
     }
 }
 
@@ -103,6 +119,53 @@ impl LockBackend for TicketLock {
 
     fn name(&self) -> &'static str {
         "Ticket"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.my_ticket.len());
+        for t in &self.my_ticket {
+            w.u64(t.get());
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.my_ticket.len() {
+            return Err(SnapError::Corrupt { what: "ticket lock thread count" });
+        }
+        for t in &self.my_ticket {
+            t.set(r.u64()?);
+        }
+        Ok(())
+    }
+
+    fn load_acquire_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let state = match r.u8()? {
+            0 => AcqState::TakeTicket,
+            1 => AcqState::GotTicket,
+            2 => AcqState::Spinning,
+            tag => {
+                return Err(SnapError::BadTag { what: "ticket acquire state", tag: u64::from(tag) })
+            }
+        };
+        Ok(Box::new(TicketAcquire {
+            ticket: self.ticket,
+            serving: self.serving,
+            state,
+            mine: Rc::clone(&self.my_ticket[tid.index()]),
+        }))
+    }
+
+    fn load_release_script(
+        &self,
+        _tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        Ok(Box::new(TicketRelease { serving: self.serving, next: r.u64()?, done: r.bool()? }))
     }
 }
 

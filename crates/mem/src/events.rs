@@ -3,6 +3,7 @@
 //! Ties at the same cycle are broken by insertion order (FIFO), which keeps
 //! the whole simulation bit-reproducible.
 
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -74,6 +75,41 @@ impl<T> EventQueue<T> {
     /// Cycle of the earliest pending event, if any.
     pub fn next_due(&self) -> Option<Cycle> {
         self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Serialize entries in deterministic `(at, seq)` order with their raw
+    /// sequence numbers, so a restored queue pops in exactly the same order
+    /// and new events keep strictly increasing sequence numbers.
+    pub fn save_state(&self, w: &mut SnapWriter, save_item: &mut dyn FnMut(&mut SnapWriter, &T)) {
+        w.u64(self.next_seq);
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        w.usize(entries.len());
+        for e in entries {
+            w.u64(e.at);
+            w.u64(e.seq);
+            save_item(w, &e.item);
+        }
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        load_item: &mut dyn FnMut(&mut SnapReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        self.next_seq = r.u64()?;
+        let n = r.usize()?;
+        self.heap.clear();
+        for _ in 0..n {
+            let at = r.u64()?;
+            let seq = r.u64()?;
+            if seq >= self.next_seq {
+                return Err(SnapError::Corrupt { what: "event queue sequence number" });
+            }
+            let item = load_item(r)?;
+            self.heap.push(Reverse(Entry { at, seq, item }));
+        }
+        Ok(())
     }
 }
 

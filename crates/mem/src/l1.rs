@@ -11,6 +11,7 @@ use crate::events::EventQueue;
 use crate::msg::{CoherenceMsg, MemOp, MemResult, SysMsg};
 use crate::store::WordStore;
 use glocks_noc::{MeshNoc, Packet};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::stats::CounterSet;
 use glocks_sim_base::trace::TraceMask;
 use glocks_sim_base::{trace_event, CmpConfig, CoreId, Cycle, LineAddr, TileId};
@@ -21,6 +22,25 @@ pub enum L1State {
     Shared,
     Exclusive,
     Modified,
+}
+
+impl L1State {
+    fn save_state(self, w: &mut SnapWriter) {
+        w.u8(match self {
+            L1State::Shared => 0,
+            L1State::Exclusive => 1,
+            L1State::Modified => 2,
+        });
+    }
+
+    fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => L1State::Shared,
+            1 => L1State::Exclusive,
+            2 => L1State::Modified,
+            tag => return Err(SnapError::BadTag { what: "l1 mesi state", tag: u64::from(tag) }),
+        })
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -364,6 +384,54 @@ impl L1Cache {
             }
             other => unreachable!("L1 received a directory-bound message: {other:?}"),
         }
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.mark("l1");
+        self.array.save_state(w, &mut |w, &s| s.save_state(w));
+        match &self.pending {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                p.op.save_state(w);
+                w.u64(p.line.0);
+                w.bool(p.is_upgrade);
+                w.bool(p.stalled_on_wb);
+            }
+        }
+        w.seq(&self.wb, |w, l| w.u64(l.0));
+        self.events.save_state(w, &mut |w, L1Event::Access(op)| op.save_state(w));
+        match &self.done {
+            None => w.bool(false),
+            Some(res) => {
+                w.bool(true);
+                res.save_state(w);
+            }
+        }
+        self.counters.save_state(w);
+        w.opt_u64(self.submitted_at);
+    }
+
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect("l1")?;
+        self.array.load_state(r, &mut L1State::load_state)?;
+        self.pending = if r.bool()? {
+            Some(Pending {
+                op: MemOp::load_state(r)?,
+                line: LineAddr(r.u64()?),
+                is_upgrade: r.bool()?,
+                stalled_on_wb: r.bool()?,
+            })
+        } else {
+            None
+        };
+        self.wb = r.seq(|r| Ok(LineAddr(r.u64()?)))?;
+        self.events
+            .load_state(r, &mut |r| Ok(L1Event::Access(MemOp::load_state(r)?)))?;
+        self.done = if r.bool()? { Some(MemResult::load_state(r)?) } else { None };
+        self.counters.load_state(r)?;
+        self.submitted_at = r.opt_u64()?;
+        Ok(())
     }
 
     /// The MESI state this L1 currently holds for `line` (tests/invariants).

@@ -18,6 +18,7 @@
 
 use crate::events::EventQueue;
 use crate::msg::MpLockMsg;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{CoreId, Cycle};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
@@ -88,6 +89,39 @@ impl MpFabric {
     pub(crate) fn deliver_grant(&self, core: CoreId, lock: u16) {
         let g = &self.granted.borrow()[core.index()];
         g.set(g.get() | (1u64 << lock));
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let outbox = self.outbox.borrow();
+        w.usize(outbox.len());
+        for (c, msg) in outbox.iter() {
+            w.u16(c.0);
+            msg.save_state(w);
+        }
+        let granted = self.granted.borrow();
+        w.usize(granted.len());
+        for g in granted.iter() {
+            w.u64(g.get());
+        }
+    }
+
+    pub fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        let mut outbox = self.outbox.borrow_mut();
+        outbox.clear();
+        for _ in 0..n {
+            let c = CoreId(r.u16()?);
+            let msg = MpLockMsg::load_state(r)?;
+            outbox.push_back((c, msg));
+        }
+        let granted = self.granted.borrow();
+        if r.usize()? != granted.len() {
+            return Err(SnapError::Corrupt { what: "mp fabric core count" });
+        }
+        for g in granted.iter() {
+            g.set(r.u64()?);
+        }
+        Ok(())
     }
 }
 
@@ -170,6 +204,55 @@ impl MpManager {
     /// No queued work (end-of-run check).
     pub fn is_quiescent(&self) -> bool {
         self.events.is_empty() && self.outgoing.is_empty()
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        // The lock map is unordered; serialize sorted by lock id.
+        let mut ids: Vec<u16> = self.locks.keys().copied().collect();
+        ids.sort_unstable();
+        w.usize(ids.len());
+        for id in ids {
+            let st = &self.locks[&id];
+            w.u16(id);
+            w.bool(st.held);
+            w.usize(st.queue.len());
+            for c in &st.queue {
+                w.u16(c.0);
+            }
+        }
+        self.events.save_state(w, &mut |w, MgrEvent::Process(msg)| msg.save_state(w));
+        w.usize(self.outgoing.len());
+        for (c, msg) in &self.outgoing {
+            w.u16(c.0);
+            msg.save_state(w);
+        }
+        w.u64(self.grants);
+    }
+
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.locks.clear();
+        for _ in 0..n {
+            let id = r.u16()?;
+            let held = r.bool()?;
+            let n_q = r.usize()?;
+            let mut queue = VecDeque::with_capacity(n_q);
+            for _ in 0..n_q {
+                queue.push_back(CoreId(r.u16()?));
+            }
+            self.locks.insert(id, LockState { held, queue });
+        }
+        self.events
+            .load_state(r, &mut |r| Ok(MgrEvent::Process(MpLockMsg::load_state(r)?)))?;
+        let n_out = r.usize()?;
+        self.outgoing.clear();
+        for _ in 0..n_out {
+            let c = CoreId(r.u16()?);
+            let msg = MpLockMsg::load_state(r)?;
+            self.outgoing.push((c, msg));
+        }
+        self.grants = r.u64()?;
+        Ok(())
     }
 }
 

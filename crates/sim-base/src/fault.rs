@@ -304,6 +304,33 @@ impl FaultInjector {
         self.stats
     }
 
+    /// Checkpoint the injector's dynamic state. Verdicts are pure
+    /// functions of `(seed, site, stream, index)`, so the monotone event
+    /// counter plus the running totals are the whole state.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.mark("fault-injector");
+        w.u64(self.next_event);
+        w.u64(self.stats.decided);
+        w.u64(self.stats.dropped);
+        w.u64(self.stats.delayed);
+        w.u64(self.stats.duplicated);
+    }
+
+    /// Restore state saved by [`Self::save_state`] into an injector
+    /// reconstructed from the same plan.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        r.expect("fault-injector")?;
+        self.next_event = r.u64()?;
+        self.stats.decided = r.u64()?;
+        self.stats.dropped = r.u64()?;
+        self.stats.delayed = r.u64()?;
+        self.stats.duplicated = r.u64()?;
+        Ok(())
+    }
+
     /// Rule on the next event at this site.
     pub fn decide(&mut self) -> FaultDecision {
         let idx = self.next_event;

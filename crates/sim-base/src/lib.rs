@@ -12,6 +12,7 @@ pub mod fault;
 pub mod geom;
 pub mod ids;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod table;
 pub mod trace;
@@ -21,3 +22,4 @@ pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultRates, FaultSite, 
 pub use geom::{Coord, Mesh2D};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, LockId, ThreadId, TileId};
 pub use rng::SplitMix64;
+pub use snap::{Fingerprint, SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION};

@@ -47,6 +47,20 @@ impl SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
 
+    /// The raw generator state, for checkpointing.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.state);
+    }
+
+    /// Restore a previously saved generator state.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.state = r.u64()?;
+        Ok(())
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {

@@ -36,6 +36,7 @@
 use glocks::GlockNetwork;
 use glocks_cpu::LockTracker;
 use glocks_mem::MemorySystem;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Cycle, LockId, ThreadId};
 use glocks_stats as gstats;
 
@@ -145,6 +146,46 @@ impl ProtocolChecker {
             }
         }
         None
+    }
+
+    /// Serialize the armed bounded-waiting watches and the check counter.
+    /// Without them a resumed run would re-arm every watch one sampling
+    /// period later than the uninterrupted run and publish a different
+    /// `checker.checks_run`.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.mark("checker");
+        w.seq(&self.watches, |w, watch| match watch {
+            None => w.bool(false),
+            Some(wt) => {
+                w.bool(true);
+                w.u16(wt.tid.0);
+                w.u64(wt.since);
+                w.u64(wt.acquires_then);
+            }
+        });
+        w.u64(self.checks_run);
+    }
+
+    /// Restore state saved by [`ProtocolChecker::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect("checker")?;
+        let watches = r.seq(|r| {
+            Ok(if r.bool()? {
+                Some(WaitWatch {
+                    tid: ThreadId(r.u16()?),
+                    since: r.u64()?,
+                    acquires_then: r.u64()?,
+                })
+            } else {
+                None
+            })
+        })?;
+        if watches.len() != self.watches.len() {
+            return Err(SnapError::Corrupt { what: "checker lock count" });
+        }
+        self.watches = watches;
+        self.checks_run = r.u64()?;
+        Ok(())
     }
 
     /// Publish the checker's own counters (only registered when the

@@ -152,6 +152,20 @@ pub enum SimError {
         detail: String,
         snapshot: Box<DiagnosticSnapshot>,
     },
+    /// The run exceeded its wall-clock budget
+    /// (`SimulationOptions::wall_clock_limit_ms`). Unlike every other
+    /// variant this one depends on the host machine, not the simulated
+    /// one — the harness treats it as a *transient wedge* and retries.
+    WallClockExceeded {
+        limit_ms: u64,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// A periodic checkpoint could not be written (some component refused
+    /// to serialize). The run itself was healthy when this fired.
+    CheckpointFailed {
+        detail: String,
+        snapshot: Box<DiagnosticSnapshot>,
+    },
 }
 
 impl SimError {
@@ -162,7 +176,9 @@ impl SimError {
             | SimError::MaxCyclesExceeded { snapshot, .. }
             | SimError::DrainStalled { snapshot, .. }
             | SimError::ResidualLockState { snapshot, .. }
-            | SimError::InvariantViolation { snapshot, .. } => snapshot,
+            | SimError::InvariantViolation { snapshot, .. }
+            | SimError::WallClockExceeded { snapshot, .. }
+            | SimError::CheckpointFailed { snapshot, .. } => snapshot,
         }
     }
 
@@ -174,7 +190,17 @@ impl SimError {
             SimError::DrainStalled { .. } => "drain-stalled",
             SimError::ResidualLockState { .. } => "residual-lock-state",
             SimError::InvariantViolation { .. } => "invariant-violation",
+            SimError::WallClockExceeded { .. } => "wall-clock-exceeded",
+            SimError::CheckpointFailed { .. } => "checkpoint-failed",
         }
+    }
+
+    /// True if the failure depends on the host machine rather than the
+    /// simulated one. A transient failure can succeed on retry (the sweep
+    /// harness retries with backoff and flags the run flaky); every
+    /// deterministic failure will recur exactly and is recorded once.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::WallClockExceeded { .. })
     }
 }
 
@@ -199,6 +225,14 @@ impl fmt::Display for SimError {
             }
             SimError::InvariantViolation { detail, snapshot } => {
                 writeln!(f, "protocol invariant violated: {detail}")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::WallClockExceeded { limit_ms, snapshot } => {
+                writeln!(f, "run exceeded its wall-clock budget of {limit_ms} ms")?;
+                write!(f, "{snapshot}")
+            }
+            SimError::CheckpointFailed { detail, snapshot } => {
+                writeln!(f, "periodic checkpoint failed: {detail}")?;
                 write!(f, "{snapshot}")
             }
         }

@@ -13,6 +13,7 @@ pub mod error;
 pub mod mapping;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod summary;
 
 pub use checker::{CheckerConfig, ProtocolChecker};
@@ -20,3 +21,4 @@ pub use error::{CoreDiag, DiagnosticSnapshot, GlockDiag, LockDiag, SimError};
 pub use mapping::LockMapping;
 pub use report::{SimReport, TrafficSnapshot};
 pub use runner::{Simulation, SimulationOptions};
+pub use snapshot::Snapshot;

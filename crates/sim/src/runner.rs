@@ -4,15 +4,20 @@ use crate::checker::{CheckerConfig, ProtocolChecker};
 use crate::error::{CoreDiag, DiagnosticSnapshot, GlockDiag, LockDiag, SimError};
 use crate::mapping::LockMapping;
 use crate::report::{SimReport, TrafficSnapshot};
+use crate::snapshot::Snapshot;
 use glocks::{GBarrierNetwork, GlockNetwork, GlockPool, Topology};
 use glocks_cpu::{Backends, BarrierBackend, Core, LockBackend, LockTracker, Script, Workload};
 use glocks_sim_base::fault::{FaultPlan, FaultSite, HardFaultTarget};
+use glocks_sim_base::snap::{
+    Fingerprint, SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION,
+};
 use glocks_sim_base::ThreadId;
 use glocks_energy::{EnergyInputs, EnergyModel};
 use glocks_locks::barrier::TreeBarrier;
 use glocks_locks::LockAlgorithm;
 use glocks_mem::MemorySystem;
 use glocks_sim_base::{Addr, CmpConfig, CoreId, Cycle, LockId, TileId};
+use std::time::Instant;
 
 /// A barrier backend that gives each consecutive core group its own
 /// private combining tree — the multiprogramming substrate of Section V's
@@ -39,8 +44,8 @@ impl PartitionedBarrier {
     }
 }
 
-impl BarrierBackend for PartitionedBarrier {
-    fn wait(&self, tid: ThreadId) -> Box<dyn Script> {
+impl PartitionedBarrier {
+    fn group_of(&self, tid: ThreadId) -> (usize, &TreeBarrier) {
         let t = tid.index();
         let (first, barrier) = self
             .groups
@@ -48,7 +53,37 @@ impl BarrierBackend for PartitionedBarrier {
             .rev()
             .find(|(f, _)| *f <= t)
             .expect("tid below every partition");
-        barrier.wait(ThreadId((t - first) as u16))
+        (*first, barrier)
+    }
+}
+
+impl BarrierBackend for PartitionedBarrier {
+    fn wait(&self, tid: ThreadId) -> Box<dyn Script> {
+        let (first, barrier) = self.group_of(tid);
+        barrier.wait(ThreadId((tid.index() - first) as u16))
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        for (_, barrier) in &self.groups {
+            barrier.save_state(w)?;
+        }
+        Ok(())
+    }
+
+    fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for (_, barrier) in &self.groups {
+            barrier.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    fn load_wait_script(
+        &self,
+        tid: ThreadId,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Box<dyn Script>, SnapError> {
+        let (first, barrier) = self.group_of(tid);
+        barrier.load_wait_script(ThreadId((tid.index() - first) as u16), r)
     }
 }
 
@@ -90,6 +125,14 @@ pub struct SimulationOptions {
     /// `None` (the default) costs nothing: the cycle loop never consults
     /// it, so paper runs stay bit-identical.
     pub checker: Option<CheckerConfig>,
+    /// Abort with [`SimError::WallClockExceeded`] if the run takes longer
+    /// than this many host milliseconds (`None` = no budget). Checked every
+    /// 4096 simulated cycles; the clock starts at construction, so a
+    /// resumed attempt gets a fresh budget. This is the one knob that is
+    /// host-dependent and therefore **excluded** from the configuration
+    /// fingerprint: raising the budget on retry must not orphan existing
+    /// checkpoints.
+    pub wall_clock_limit_ms: Option<u64>,
 }
 
 impl Default for SimulationOptions {
@@ -104,8 +147,63 @@ impl Default for SimulationOptions {
             fault_plan: None,
             watchdog_cycles: 2_000_000,
             checker: None,
+            wall_clock_limit_ms: None,
         }
     }
+}
+
+/// Digest everything that shapes the machine or its trajectory: the codec
+/// version, the architectural configuration, the per-lock algorithm
+/// assignment, and every deterministic [`SimulationOptions`] knob. Two
+/// simulations with equal fingerprints built from the same workloads march
+/// through identical states, so a snapshot from one loads into the other.
+///
+/// `wall_clock_limit_ms` is deliberately left out (host policy, not
+/// machine spec); the workloads cannot be digested here (they are opaque
+/// boxed programs) — the caller must supply the same ones, and the
+/// per-component section marks plus shape checks during the load catch
+/// most mismatches that slip through.
+fn config_fingerprint(cfg: &CmpConfig, mapping: &LockMapping, options: &SimulationOptions) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.mix_u64(u64::from(SNAP_VERSION));
+    // `CmpConfig` is a flat `Copy + Debug + Eq` tree of integers; its debug
+    // form is a canonical encoding of every field.
+    fp.mix_str(&format!("{cfg:?}"));
+    fp.mix_u64(mapping.n_locks() as u64);
+    for i in 0..mapping.n_locks() {
+        fp.mix_str(mapping.algo(LockId(i as u16)).name());
+    }
+    fp.mix_u64(options.check_invariants_every);
+    fp.mix_u64(options.max_cycles);
+    fp.mix_str(&format!("{:?}", options.energy_model));
+    fp.mix_u64(u64::from(options.force_hierarchical_glocks));
+    match &options.barrier_partitions {
+        None => fp.mix_u64(0),
+        Some(sizes) => {
+            fp.mix_u64(1 + sizes.len() as u64);
+            for &s in sizes {
+                fp.mix_u64(s as u64);
+            }
+        }
+    }
+    fp.mix_u64(u64::from(options.hardware_barrier));
+    match &options.fault_plan {
+        None => fp.mix_u64(0),
+        Some(plan) => {
+            fp.mix_u64(1);
+            fp.mix_str(&format!("{plan:?}"));
+        }
+    }
+    fp.mix_u64(options.watchdog_cycles);
+    match &options.checker {
+        None => fp.mix_u64(0),
+        Some(c) => {
+            fp.mix_u64(1);
+            fp.mix_u64(c.every);
+            fp.mix_u64(c.fairness_window);
+        }
+    }
+    fp.value()
 }
 
 /// One configured run of the simulated CMP.
@@ -125,6 +223,12 @@ pub struct Simulation {
     failover_counters: Vec<std::rc::Rc<std::cell::Cell<u64>>>,
     has_hard_faults: bool,
     now: Cycle,
+    /// Watchdog memory: highest progress-event sum seen and when.
+    progress_mark: (u64, Cycle),
+    /// Digest of the machine specification; gates snapshot restores.
+    fingerprint: u64,
+    /// Start of this attempt's wall-clock budget.
+    started: Instant,
 }
 
 impl Simulation {
@@ -296,6 +400,7 @@ impl Simulation {
         let checker = options
             .checker
             .map(|c| ProtocolChecker::new(c, n_locks, cfg.num_cores));
+        let fingerprint = config_fingerprint(cfg, mapping, &options);
         Simulation {
             cfg: *cfg,
             options,
@@ -311,7 +416,40 @@ impl Simulation {
             failover_counters,
             has_hard_faults,
             now: 0,
+            progress_mark: (0, 0),
+            fingerprint,
+            started: Instant::now(),
         }
+    }
+
+    /// Rebuild the machine from `cfg`/`mapping`/`workloads`/`options`
+    /// (which must match what the snapshot was taken under — the
+    /// fingerprint enforces the parts it can see) and load `snapshot`'s
+    /// state into it. The returned simulation continues exactly where the
+    /// checkpointed one stood; stepping it produces the same states and,
+    /// at the end, a byte-identical stats dump.
+    pub fn resume(
+        cfg: &CmpConfig,
+        mapping: &LockMapping,
+        workloads: Vec<Box<dyn Workload>>,
+        init: &[(Addr, u64)],
+        options: SimulationOptions,
+        snapshot: &Snapshot,
+    ) -> Result<Self, SnapError> {
+        let mut sim = Simulation::new(cfg, mapping, workloads, init, options);
+        sim.load_snapshot(snapshot)?;
+        Ok(sim)
+    }
+
+    /// The cycle boundary the machine currently sits at.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Digest of the specification this machine was built from (what a
+    /// snapshot's header must carry to be loadable here).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Advance every non-core device (memory system, GLock networks,
@@ -368,64 +506,249 @@ impl Simulation {
         })
     }
 
+    /// Advance the machine by one cycle of the parallel phase. Returns
+    /// `Ok(true)` once every core has finished (call [`Simulation::finish`]
+    /// next), `Ok(false)` while work remains, or the same structured errors
+    /// [`Simulation::run`] would surface. After an `Ok(false)` the machine
+    /// sits at a cycle boundary and [`Simulation::checkpoint`] may be
+    /// taken.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        // Already complete (e.g. resumed from a checkpoint taken at the
+        // finish boundary): devices already ticked this cycle, so ticking
+        // again would let the drain diverge from the uninterrupted run.
+        if self.cores.iter().all(Core::is_finished) {
+            return Ok(true);
+        }
+        let mut all_done = true;
+        let mut progress_sum = 0u64;
+        {
+            let backends = Backends { locks: &self.locks, barrier: self.barrier.as_ref() };
+            for core in &mut self.cores {
+                core.tick(self.now, &mut self.mem, &backends, &mut self.tracker);
+                all_done &= core.is_finished();
+                progress_sum += core.progress_events();
+            }
+        }
+        self.tick_devices();
+        self.tracker.sample();
+        if self.options.check_invariants_every > 0
+            && self.now.is_multiple_of(self.options.check_invariants_every)
+        {
+            self.mem.check_invariants();
+            for net in &self.glock_nets {
+                net.assert_token_invariants();
+            }
+        }
+        let violation = match self.checker.as_mut() {
+            Some(ck) if ck.due(self.now) => {
+                ck.check(self.now, &self.tracker, &self.mem, &self.glock_nets)
+            }
+            _ => None,
+        };
+        if let Some(detail) = violation {
+            return Err(SimError::InvariantViolation {
+                detail,
+                snapshot: self.snapshot(),
+            });
+        }
+        if all_done {
+            return Ok(true);
+        }
+        if progress_sum > self.progress_mark.0 {
+            self.progress_mark = (progress_sum, self.now);
+        } else if self.options.watchdog_cycles > 0
+            && self.now - self.progress_mark.1 >= self.options.watchdog_cycles
+        {
+            return Err(SimError::NoForwardProgress {
+                window: self.options.watchdog_cycles,
+                snapshot: self.snapshot(),
+            });
+        }
+        self.now += 1;
+        if self.now >= self.options.max_cycles {
+            return Err(SimError::MaxCyclesExceeded {
+                limit: self.options.max_cycles,
+                snapshot: self.snapshot(),
+            });
+        }
+        // The wall-clock budget is sampled coarsely: `Instant::now` every
+        // cycle would dominate the loop.
+        if let Some(limit_ms) = self.options.wall_clock_limit_ms {
+            if self.now & 0xFFF == 0 && self.started.elapsed().as_millis() as u64 >= limit_ms {
+                return Err(SimError::WallClockExceeded {
+                    limit_ms,
+                    snapshot: self.snapshot(),
+                });
+            }
+        }
+        Ok(false)
+    }
+
     /// Run the parallel phase to completion and produce the report, or a
     /// structured error with a diagnostic snapshot if the run wedges.
     pub fn run(mut self) -> Result<(SimReport, MemorySystem), SimError> {
-        let mut last_progress = (0u64, 0 as Cycle); // (event sum, cycle seen)
-        let finish_at = loop {
-            let mut all_done = true;
-            let mut progress_sum = 0u64;
-            {
-                let backends = Backends { locks: &self.locks, barrier: self.barrier.as_ref() };
-                for core in &mut self.cores {
-                    core.tick(self.now, &mut self.mem, &backends, &mut self.tracker);
-                    all_done &= core.is_finished();
-                    progress_sum += core.progress_events();
+        while !self.step()? {}
+        self.finish()
+    }
+
+    /// [`Simulation::run`] with a periodic auto-checkpoint: every `every`
+    /// cycles (`0` = never) the machine image is handed to `sink` — the
+    /// caller decides where it goes (typically an atomically-renamed file).
+    /// A component refusing to serialize surfaces as
+    /// [`SimError::CheckpointFailed`] rather than silently skipping the
+    /// checkpoint: a crash-safety net that is not actually there must not
+    /// look like one that is.
+    pub fn run_with_checkpoints(
+        mut self,
+        every: u64,
+        sink: &mut dyn FnMut(Snapshot),
+    ) -> Result<(SimReport, MemorySystem), SimError> {
+        while !self.step()? {
+            if every > 0 && self.now.is_multiple_of(every) {
+                match self.checkpoint() {
+                    Ok(snap) => sink(snap),
+                    Err(e) => {
+                        return Err(SimError::CheckpointFailed {
+                            detail: e.to_string(),
+                            snapshot: self.snapshot(),
+                        })
+                    }
                 }
             }
-            self.tick_devices();
-            self.tracker.sample();
-            if self.options.check_invariants_every > 0
-                && self.now.is_multiple_of(self.options.check_invariants_every)
-            {
-                self.mem.check_invariants();
-                for net in &self.glock_nets {
-                    net.assert_token_invariants();
-                }
+        }
+        self.finish()
+    }
+
+    /// Serialize the complete machine state at the current cycle boundary:
+    /// header (magic, codec version, fingerprint, cycle), then every
+    /// subsystem in a fixed walk order. Fails with
+    /// [`SnapError::Unsupported`] if any component (an exotic workload, a
+    /// backend without snapshot support) has not opted into checkpointing.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapError> {
+        let mut w = SnapWriter::new();
+        w.u32(SNAP_MAGIC);
+        w.u32(SNAP_VERSION);
+        w.u64(self.fingerprint);
+        w.u64(self.now);
+        w.mark("sim");
+        w.u64(self.progress_mark.0);
+        w.u64(self.progress_mark.1);
+        w.usize(self.cores.len());
+        for core in &self.cores {
+            core.save_state(&mut w)?;
+        }
+        self.tracker.save_state(&mut w);
+        self.mem.save_state(&mut w);
+        w.usize(self.glock_nets.len());
+        for net in &self.glock_nets {
+            net.save_state(&mut w);
+        }
+        w.bool(self.gbarrier.is_some());
+        if let Some(b) = &self.gbarrier {
+            b.save_state(&mut w);
+        }
+        w.bool(self.pool.is_some());
+        if let Some(p) = &self.pool {
+            p.save_state(&mut w);
+        }
+        w.usize(self.locks.len());
+        for backend in &self.locks {
+            backend.save_state(&mut w)?;
+        }
+        self.barrier.save_state(&mut w)?;
+        w.bool(self.checker.is_some());
+        if let Some(ck) = &self.checker {
+            ck.save_state(&mut w);
+        }
+        // The typed-stats registry records live histograms during the run;
+        // without it a resumed dump would be missing every pre-checkpoint
+        // sample.
+        let stats_on = glocks_stats::is_enabled();
+        w.bool(stats_on);
+        if stats_on {
+            glocks_stats::save_registry(&mut w);
+        }
+        w.mark("sim-end");
+        Ok(Snapshot::from_trusted(w.into_bytes()))
+    }
+
+    /// Load a [`Snapshot`] into this freshly constructed machine (the
+    /// inverse walk of [`Simulation::checkpoint`]). The snapshot's
+    /// fingerprint must match this machine's; shape checks and section
+    /// marks guard the rest.
+    pub fn load_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), SnapError> {
+        if snapshot.fingerprint() != self.fingerprint {
+            return Err(SnapError::FingerprintMismatch {
+                found: snapshot.fingerprint(),
+                expected: self.fingerprint,
+            });
+        }
+        let mut r = snapshot.body();
+        r.expect("sim")?;
+        let progress_mark = (r.u64()?, r.u64()?);
+        if r.usize()? != self.cores.len() {
+            return Err(SnapError::Corrupt { what: "core count" });
+        }
+        {
+            let backends = Backends { locks: &self.locks, barrier: self.barrier.as_ref() };
+            for core in &mut self.cores {
+                core.load_state(&mut r, &backends)?;
             }
-            let violation = match self.checker.as_mut() {
-                Some(ck) if ck.due(self.now) => {
-                    ck.check(self.now, &self.tracker, &self.mem, &self.glock_nets)
-                }
-                _ => None,
-            };
-            if let Some(detail) = violation {
-                return Err(SimError::InvariantViolation {
-                    detail,
-                    snapshot: self.snapshot(),
-                });
-            }
-            if all_done {
-                break self.now;
-            }
-            if progress_sum > last_progress.0 {
-                last_progress = (progress_sum, self.now);
-            } else if self.options.watchdog_cycles > 0
-                && self.now - last_progress.1 >= self.options.watchdog_cycles
-            {
-                return Err(SimError::NoForwardProgress {
-                    window: self.options.watchdog_cycles,
-                    snapshot: self.snapshot(),
-                });
-            }
-            self.now += 1;
-            if self.now >= self.options.max_cycles {
-                return Err(SimError::MaxCyclesExceeded {
-                    limit: self.options.max_cycles,
-                    snapshot: self.snapshot(),
-                });
-            }
-        };
+        }
+        self.tracker.load_state(&mut r)?;
+        self.mem.load_state(&mut r)?;
+        if r.usize()? != self.glock_nets.len() {
+            return Err(SnapError::Corrupt { what: "glock network count" });
+        }
+        for net in &mut self.glock_nets {
+            net.load_state(&mut r)?;
+        }
+        if r.bool()? != self.gbarrier.is_some() {
+            return Err(SnapError::Corrupt { what: "gbarrier presence" });
+        }
+        if let Some(b) = self.gbarrier.as_mut() {
+            b.load_state(&mut r)?;
+        }
+        if r.bool()? != self.pool.is_some() {
+            return Err(SnapError::Corrupt { what: "glock pool presence" });
+        }
+        if let Some(p) = &self.pool {
+            p.load_state(&mut r)?;
+        }
+        if r.usize()? != self.locks.len() {
+            return Err(SnapError::Corrupt { what: "lock backend count" });
+        }
+        for backend in &self.locks {
+            backend.load_state(&mut r)?;
+        }
+        self.barrier.load_state(&mut r)?;
+        if r.bool()? != self.checker.is_some() {
+            return Err(SnapError::Corrupt { what: "checker presence" });
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.load_state(&mut r)?;
+        }
+        let stats_on = r.bool()?;
+        if stats_on != glocks_stats::is_enabled() {
+            return Err(SnapError::Corrupt { what: "stats enablement mismatch" });
+        }
+        if stats_on {
+            glocks_stats::restore_registry(&mut r)?;
+        }
+        r.expect("sim-end")?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Corrupt { what: "trailing snapshot bytes" });
+        }
+        self.now = snapshot.cycle();
+        self.progress_mark = progress_mark;
+        Ok(())
+    }
+
+    /// Post-run epilogue: drain in-flight traffic, verify quiescence, and
+    /// assemble the report. Call after [`Simulation::step`] returned
+    /// `Ok(true)`.
+    pub fn finish(mut self) -> Result<(SimReport, MemorySystem), SimError> {
+        let finish_at = self.now;
         // Drain in-flight writebacks so the traffic/energy totals settle.
         const DRAIN_CAP: u64 = 1_000_000;
         let mut drain = 0;

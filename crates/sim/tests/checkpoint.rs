@@ -1,0 +1,283 @@
+//! Checkpoint/restore equivalence: a run interrupted at an arbitrary
+//! cycle boundary and resumed into a freshly reconstructed machine must
+//! finish with a **byte-identical** stats dump and an identical memory
+//! image — fault-free, under a seeded fault plan with hard failures, and
+//! with the runtime invariant checker riding along.
+
+use glocks_cpu::{Action, Workload};
+use glocks_locks::LockAlgorithm;
+use glocks_mem::MemOp;
+use glocks_sim::{CheckerConfig, LockMapping, Simulation, SimulationOptions, Snapshot};
+use glocks_sim_base::fault::{FaultPlan, FaultRates};
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
+use glocks_sim_base::{Addr, CmpConfig, LockId};
+use proptest::prelude::*;
+
+const COUNTER: Addr = Addr(0x200_0000);
+
+/// Lock-increment-release loop with full snapshot support.
+struct Counter {
+    iters: u64,
+    phase: u8,
+    seen: u64,
+}
+
+impl Workload for Counter {
+    fn next(&mut self, last: u64) -> Action {
+        match self.phase {
+            0 => {
+                if self.iters == 0 {
+                    return Action::Done;
+                }
+                self.phase = 1;
+                Action::Acquire(LockId(0))
+            }
+            1 => {
+                self.phase = 2;
+                Action::Mem(MemOp::Load(COUNTER))
+            }
+            2 => {
+                self.seen = last;
+                self.phase = 3;
+                Action::Mem(MemOp::Store(COUNTER, self.seen + 1))
+            }
+            4 => {
+                self.phase = 0;
+                Action::Barrier
+            }
+            _ => {
+                self.iters -= 1;
+                self.phase = 4;
+                Action::Release(LockId(0))
+            }
+        }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(self.phase);
+        w.u64(self.iters);
+        w.u64(self.seen);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = r.u8()?;
+        self.iters = r.u64()?;
+        self.seen = r.u64()?;
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Scenario {
+    algo: LockAlgorithm,
+    cores: usize,
+    iters: u64,
+    faults: bool,
+    checker: bool,
+}
+
+fn options(s: Scenario) -> SimulationOptions {
+    let fault_plan = s.faults.then(|| {
+        let mut plan = FaultPlan::seeded(0xBEEF);
+        plan.gline = FaultRates::drops(10_000); // 1% transient signal loss
+        plan.kill_all_glock_networks(1, 2_000, 6_000); // plus a hard death
+        plan
+    });
+    SimulationOptions {
+        fault_plan,
+        checker: s.checker.then(CheckerConfig::default),
+        watchdog_cycles: 500_000,
+        ..Default::default()
+    }
+}
+
+fn build(s: Scenario) -> Simulation {
+    let cfg = CmpConfig::paper_baseline().with_cores(s.cores);
+    let mapping = LockMapping::uniform(s.algo, 1);
+    let workloads = (0..s.cores)
+        .map(|_| Box::new(Counter { iters: s.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+        .collect();
+    Simulation::new(&cfg, &mapping, workloads, &[], options(s))
+}
+
+fn resume(s: Scenario, snap: &Snapshot) -> Simulation {
+    let cfg = CmpConfig::paper_baseline().with_cores(s.cores);
+    let mapping = LockMapping::uniform(s.algo, 1);
+    let workloads = (0..s.cores)
+        .map(|_| Box::new(Counter { iters: s.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+        .collect();
+    Simulation::resume(&cfg, &mapping, workloads, &[], options(s), snap)
+        .expect("snapshot must load into an identically specified machine")
+}
+
+/// Run to completion inside a stats session; return the dump JSON and the
+/// final shared counter value.
+fn finish_with_stats(sim: Simulation) -> (String, u64) {
+    let (report, mem) = sim.run().expect("run must complete");
+    let json = report.stats.as_ref().expect("stats were enabled").to_json();
+    let counter = mem.store().load(COUNTER);
+    glocks_stats::disable();
+    (json, counter)
+}
+
+/// The uninterrupted reference run for a scenario.
+fn baseline(s: Scenario) -> (String, u64) {
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    finish_with_stats(build(s))
+}
+
+/// Checkpoint at (or just past) `at_cycle`, round-trip the snapshot
+/// through its byte encoding, resume into a fresh machine, and finish.
+fn interrupted(s: Scenario, at_cycle: u64) -> (String, u64) {
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let mut sim = build(s);
+    while sim.now() < at_cycle {
+        if sim.step().expect("run must stay healthy until the checkpoint") {
+            break;
+        }
+    }
+    let bytes = sim.checkpoint().expect("every component supports snapshots").into_bytes();
+    drop(sim); // the interrupted process is gone
+    glocks_stats::disable();
+
+    let snap = Snapshot::from_bytes(bytes).expect("snapshot survives its byte round-trip");
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let resumed = resume(s, &snap);
+    assert_eq!(resumed.now(), snap.cycle());
+    finish_with_stats(resumed)
+}
+
+fn assert_equivalent(s: Scenario, at_cycle: u64) {
+    let (ref_json, ref_counter) = baseline(s);
+    let (got_json, got_counter) = interrupted(s, at_cycle);
+    assert_eq!(got_counter, ref_counter, "memory image diverged");
+    assert_eq!(got_json, ref_json, "stats dump not byte-identical after resume");
+}
+
+#[test]
+fn mcs_resume_is_byte_identical() {
+    let s = Scenario { algo: LockAlgorithm::Mcs, cores: 8, iters: 4, faults: false, checker: false };
+    assert_equivalent(s, 1_500);
+}
+
+#[test]
+fn glock_resume_is_byte_identical() {
+    let s =
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 4, faults: false, checker: false };
+    assert_equivalent(s, 1_000);
+}
+
+#[test]
+fn dynamic_glock_resume_is_byte_identical() {
+    let s = Scenario {
+        algo: LockAlgorithm::DynamicGlock,
+        cores: 8,
+        iters: 4,
+        faults: false,
+        checker: false,
+    };
+    assert_equivalent(s, 1_000);
+}
+
+/// Under a hard-fault plan the checkpoint lands *inside* the failover
+/// window (the network dies between cycles 2000 and 6000), so quarantine
+/// state, epoch counters and software-fallback positions all ride through
+/// the snapshot.
+#[test]
+fn resume_under_hard_faults_is_byte_identical() {
+    let s =
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 12, faults: true, checker: false };
+    assert_equivalent(s, 4_000);
+}
+
+#[test]
+fn resume_with_invariant_checker_is_byte_identical() {
+    let s =
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 8, faults: true, checker: true };
+    assert_equivalent(s, 3_000);
+}
+
+#[test]
+fn periodic_checkpoints_do_not_perturb_the_run() {
+    let s = Scenario { algo: LockAlgorithm::Mcs, cores: 4, iters: 3, faults: false, checker: false };
+    let (ref_json, ref_counter) = baseline(s);
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let mut n_snaps = 0usize;
+    let mut last: Option<Snapshot> = None;
+    let (report, mem) = build(s)
+        .run_with_checkpoints(500, &mut |snap| {
+            n_snaps += 1;
+            last = Some(snap);
+        })
+        .expect("checkpointed run must complete");
+    let json = report.stats.as_ref().unwrap().to_json();
+    glocks_stats::disable();
+    assert!(n_snaps > 0, "the run is long enough for at least one auto-checkpoint");
+    assert_eq!(mem.store().load(COUNTER), ref_counter);
+    assert_eq!(json, ref_json, "auto-checkpointing changed the run");
+    // ...and the last auto-checkpoint itself resumes correctly.
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let (json2, counter2) = finish_with_stats(resume(s, &last.expect("saw a snapshot")));
+    assert_eq!(counter2, ref_counter);
+    assert_eq!(json2, ref_json);
+}
+
+#[test]
+fn mismatched_configuration_is_refused() {
+    let s = Scenario { algo: LockAlgorithm::Mcs, cores: 4, iters: 2, faults: false, checker: false };
+    let mut sim = build(s);
+    for _ in 0..100 {
+        if sim.step().unwrap() {
+            break;
+        }
+    }
+    let snap = sim.checkpoint().unwrap();
+    // Different core count → different fingerprint → refused.
+    let other = Scenario { cores: 8, ..s };
+    let cfg = CmpConfig::paper_baseline().with_cores(other.cores);
+    let mapping = LockMapping::uniform(other.algo, 1);
+    let workloads = (0..other.cores)
+        .map(|_| Box::new(Counter { iters: other.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+        .collect();
+    let err = Simulation::resume(&cfg, &mapping, workloads, &[], options(other), &snap)
+        .err()
+        .expect("a different machine must refuse the snapshot");
+    assert!(matches!(err, SnapError::FingerprintMismatch { .. }), "{err}");
+    // Different lock algorithm → also refused.
+    let err2 = {
+        let cfg = CmpConfig::paper_baseline().with_cores(s.cores);
+        let mapping = LockMapping::uniform(LockAlgorithm::Ticket, 1);
+        let workloads = (0..s.cores)
+            .map(|_| Box::new(Counter { iters: s.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+            .collect();
+        Simulation::resume(&cfg, &mapping, workloads, &[], options(s), &snap)
+            .err()
+            .expect("a different lock mapping must refuse the snapshot")
+    };
+    assert!(matches!(err2, SnapError::FingerprintMismatch { .. }), "{err2}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite property: checkpoint at a *random* cycle, resume, and the
+    /// final stats dump is byte-identical — across algorithm families and
+    /// with/without faults and the checker.
+    #[test]
+    fn random_cycle_checkpoint_resumes_byte_identically(
+        at_cycle in 1u64..6_000,
+        family in 0u8..3,
+    ) {
+        let (algo, faults, checker) = match family {
+            0 => (LockAlgorithm::Mcs, false, false),
+            1 => (LockAlgorithm::Glock, true, false),
+            _ => (LockAlgorithm::Glock, true, true),
+        };
+        let s = Scenario { algo, cores: 6, iters: 6, faults, checker };
+        let (ref_json, ref_counter) = baseline(s);
+        let (got_json, got_counter) = interrupted(s, at_cycle);
+        prop_assert_eq!(got_counter, ref_counter);
+        prop_assert_eq!(got_json, ref_json);
+    }
+}

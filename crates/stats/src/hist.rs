@@ -127,6 +127,33 @@ impl Log2Histogram {
         self.max
     }
 
+    pub fn save_state(&self, w: &mut glocks_sim_base::snap::SnapWriter) {
+        w.u64_slice(&self.buckets);
+        w.u64(self.count);
+        w.u64(self.sum);
+        // raw min (u64::MAX when empty), so the sentinel round-trips
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    pub fn load_state(
+        &mut self,
+        r: &mut glocks_sim_base::snap::SnapReader<'_>,
+    ) -> Result<(), glocks_sim_base::snap::SnapError> {
+        let buckets = r.u64_vec()?;
+        if buckets.len() != N_BUCKETS {
+            return Err(glocks_sim_base::snap::SnapError::Corrupt {
+                what: "log2 histogram bucket count",
+            });
+        }
+        self.buckets.copy_from_slice(&buckets);
+        self.count = r.u64()?;
+        self.sum = r.u64()?;
+        self.min = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         if other.count == 0 {

@@ -39,8 +39,9 @@ pub use diff::{diff, DiffLine, DiffOptions, DiffReport};
 pub use dump::{HistDump, SeriesDump, StatsDump, SCHEMA_VERSION};
 pub use hist::Log2Histogram;
 pub use registry::{
-    add, disable, enable, hist, hist_record, is_enabled, next_instance, push, series, set,
-    set_meta, should_sample, snapshot, counter, CounterId, HistId, SeriesId, StatsConfig,
+    add, disable, enable, hist, hist_record, is_enabled, next_instance, push, restore_registry,
+    save_registry, series, set, set_meta, should_sample, snapshot, counter, CounterId, HistId,
+    SeriesId, StatsConfig,
 };
 pub use selfprof::{BenchRecord, Stopwatch};
 pub use series::TimeSeries;

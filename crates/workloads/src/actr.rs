@@ -11,6 +11,7 @@
 use crate::{BenchConfig, BenchInstance, DATA_BASE};
 use glocks_cpu::{Action, Workload};
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, LockId};
 
 fn ctr0() -> Addr {
@@ -90,6 +91,43 @@ impl Workload for ActrLoop {
                 Action::Barrier
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            Phase::EnterFirst => 0,
+            Phase::LoadFirst => 1,
+            Phase::StoreFirst => 2,
+            Phase::ExitFirst => 3,
+            Phase::BarrierWait => 4,
+            Phase::EnterSecond => 5,
+            Phase::LoadSecond => 6,
+            Phase::StoreSecond => 7,
+            Phase::ExitSecond => 8,
+            Phase::EndBarrier => 9,
+        });
+        w.u64(self.iters);
+        w.u64(self.seen);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = match r.u8()? {
+            0 => Phase::EnterFirst,
+            1 => Phase::LoadFirst,
+            2 => Phase::StoreFirst,
+            3 => Phase::ExitFirst,
+            4 => Phase::BarrierWait,
+            5 => Phase::EnterSecond,
+            6 => Phase::LoadSecond,
+            7 => Phase::StoreSecond,
+            8 => Phase::ExitSecond,
+            9 => Phase::EndBarrier,
+            tag => return Err(SnapError::BadTag { what: "actr phase", tag: u64::from(tag) }),
+        };
+        self.iters = r.u64()?;
+        self.seen = r.u64()?;
+        Ok(())
     }
 }
 

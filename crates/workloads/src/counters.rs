@@ -13,6 +13,7 @@
 use crate::{share, BenchConfig, BenchInstance, DATA_BASE};
 use glocks_cpu::{Action, Workload};
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, LockId};
 
 /// Cycles of "work" between critical sections (keeps a short re-entry gap
@@ -76,6 +77,37 @@ impl Workload for CounterLoop {
                 Action::Compute(REST_INSTRS)
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u8(match self.phase {
+            Phase::Enter => 0,
+            Phase::Load => 1,
+            Phase::Bump => 2,
+            Phase::Store => 3,
+            Phase::Exit => 4,
+            Phase::Rest => 5,
+        });
+        w.u64(self.iters);
+        w.u64(self.seen);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = match r.u8()? {
+            0 => Phase::Enter,
+            1 => Phase::Load,
+            2 => Phase::Bump,
+            3 => Phase::Store,
+            4 => Phase::Exit,
+            5 => Phase::Rest,
+            tag => {
+                return Err(SnapError::BadTag { what: "counter phase", tag: u64::from(tag) })
+            }
+        };
+        self.iters = r.u64()?;
+        self.seen = r.u64()?;
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@ use crate::{share, BenchConfig, BenchInstance, DATA_BASE};
 use glocks_cpu::{Action, Workload};
 use glocks_mem::store::WordStore;
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, LockId};
 
 /// Bytes per node record (next and prev words in separate lines).
@@ -131,6 +132,83 @@ impl Workload for DbllLoop {
                 Action::Compute(24)
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.phase {
+            Phase::EnterDeq => w.u8(0),
+            Phase::ReadHeadNext => w.u8(1),
+            Phase::ReadVictimNext => w.u8(2),
+            Phase::Unlink { victim } => {
+                w.u8(3);
+                w.u64(victim);
+            }
+            Phase::UnlinkBack { victim, after } => {
+                w.u8(4);
+                w.u64(victim);
+                w.u64(after);
+            }
+            Phase::ExitDeq { victim } => {
+                w.u8(5);
+                w.u64(victim);
+            }
+            Phase::Use { victim } => {
+                w.u8(6);
+                w.u64(victim);
+            }
+            Phase::EnterEnq { victim } => {
+                w.u8(7);
+                w.u64(victim);
+            }
+            Phase::ReadTailPrev { victim } => {
+                w.u8(8);
+                w.u64(victim);
+            }
+            Phase::LinkPrev { victim } => {
+                w.u8(9);
+                w.u64(victim);
+            }
+            Phase::LinkNext { victim, old_last } => {
+                w.u8(10);
+                w.u64(victim);
+                w.u64(old_last);
+            }
+            Phase::LinkTailPrev { victim } => {
+                w.u8(11);
+                w.u64(victim);
+            }
+            Phase::LinkNodeNext { victim } => {
+                w.u8(12);
+                w.u64(victim);
+            }
+            Phase::ExitEnq => w.u8(13),
+            Phase::Rest => w.u8(14),
+        }
+        w.u64(self.iters);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = match r.u8()? {
+            0 => Phase::EnterDeq,
+            1 => Phase::ReadHeadNext,
+            2 => Phase::ReadVictimNext,
+            3 => Phase::Unlink { victim: r.u64()? },
+            4 => Phase::UnlinkBack { victim: r.u64()?, after: r.u64()? },
+            5 => Phase::ExitDeq { victim: r.u64()? },
+            6 => Phase::Use { victim: r.u64()? },
+            7 => Phase::EnterEnq { victim: r.u64()? },
+            8 => Phase::ReadTailPrev { victim: r.u64()? },
+            9 => Phase::LinkPrev { victim: r.u64()? },
+            10 => Phase::LinkNext { victim: r.u64()?, old_last: r.u64()? },
+            11 => Phase::LinkTailPrev { victim: r.u64()? },
+            12 => Phase::LinkNodeNext { victim: r.u64()? },
+            13 => Phase::ExitEnq,
+            14 => Phase::Rest,
+            tag => return Err(SnapError::BadTag { what: "dbll phase", tag: u64::from(tag) }),
+        };
+        self.iters = r.u64()?;
+        Ok(())
     }
 }
 

@@ -36,6 +36,21 @@ impl Workload for Relocated {
             other => other,
         }
     }
+
+    // The relocation parameters are config; only the wrapped program moves.
+    fn save_state(
+        &self,
+        w: &mut glocks_sim_base::snap::SnapWriter,
+    ) -> Result<(), glocks_sim_base::snap::SnapError> {
+        self.inner.save_state(w)
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut glocks_sim_base::snap::SnapReader<'_>,
+    ) -> Result<(), glocks_sim_base::snap::SnapError> {
+        self.inner.load_state(r)
+    }
 }
 
 fn relocate_addr(a: Addr, floor: u64, offset: u64) -> Addr {

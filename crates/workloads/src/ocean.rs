@@ -12,6 +12,7 @@
 use crate::{BenchConfig, BenchInstance, DATA_BASE};
 use glocks_cpu::{Action, Workload};
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, LockId, SplitMix64};
 
 /// Sweeps of the solver.
@@ -139,6 +140,94 @@ impl Workload for OceanThread {
             }
             Phase::Finished => Action::Done,
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.phase {
+            Phase::SweepStart { iter } => {
+                w.u8(0);
+                w.u64(iter);
+            }
+            Phase::CellLoad { iter, i } => {
+                w.u8(1);
+                w.u64(iter);
+                w.u64(i);
+            }
+            Phase::CellStore { iter, i } => {
+                w.u8(2);
+                w.u64(iter);
+                w.u64(i);
+            }
+            Phase::Jitter { iter } => {
+                w.u8(3);
+                w.u64(iter);
+            }
+            Phase::RedEnter { iter } => {
+                w.u8(4);
+                w.u64(iter);
+            }
+            Phase::RedLoad { iter } => {
+                w.u8(5);
+                w.u64(iter);
+            }
+            Phase::RedStore { iter } => {
+                w.u8(6);
+                w.u64(iter);
+            }
+            Phase::RedExit { iter } => {
+                w.u8(7);
+                w.u64(iter);
+            }
+            Phase::AuxEnter { iter, which } => {
+                w.u8(8);
+                w.u64(iter);
+                w.u64(which);
+            }
+            Phase::AuxLoad { iter, which } => {
+                w.u8(9);
+                w.u64(iter);
+                w.u64(which);
+            }
+            Phase::AuxStore { iter, which } => {
+                w.u8(10);
+                w.u64(iter);
+                w.u64(which);
+            }
+            Phase::AuxExit { iter, which } => {
+                w.u8(11);
+                w.u64(iter);
+                w.u64(which);
+            }
+            Phase::SweepBarrier { iter } => {
+                w.u8(12);
+                w.u64(iter);
+            }
+            Phase::Finished => w.u8(13),
+        }
+        w.u64(self.seen);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = match r.u8()? {
+            0 => Phase::SweepStart { iter: r.u64()? },
+            1 => Phase::CellLoad { iter: r.u64()?, i: r.u64()? },
+            2 => Phase::CellStore { iter: r.u64()?, i: r.u64()? },
+            3 => Phase::Jitter { iter: r.u64()? },
+            4 => Phase::RedEnter { iter: r.u64()? },
+            5 => Phase::RedLoad { iter: r.u64()? },
+            6 => Phase::RedStore { iter: r.u64()? },
+            7 => Phase::RedExit { iter: r.u64()? },
+            8 => Phase::AuxEnter { iter: r.u64()?, which: r.u64()? },
+            9 => Phase::AuxLoad { iter: r.u64()?, which: r.u64()? },
+            10 => Phase::AuxStore { iter: r.u64()?, which: r.u64()? },
+            11 => Phase::AuxExit { iter: r.u64()?, which: r.u64()? },
+            12 => Phase::SweepBarrier { iter: r.u64()? },
+            13 => Phase::Finished,
+            tag => return Err(SnapError::BadTag { what: "ocean phase", tag: u64::from(tag) }),
+        };
+        self.seen = r.u64()?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 use crate::{BenchConfig, BenchInstance, DATA_BASE};
 use glocks_cpu::{Action, Workload};
 use glocks_mem::MemOp;
+use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Addr, LockId, SplitMix64};
 
 /// Average per-ray render cost in instructions (plus jitter below).
@@ -173,6 +174,82 @@ impl Workload for RaytrThread {
             }
             Phase::Finished => Action::Done,
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self.phase {
+            Phase::GrabEnter => w.u8(0),
+            Phase::GrabLoad => w.u8(1),
+            Phase::GrabStore => w.u8(2),
+            Phase::GrabExit { task } => {
+                w.u8(3);
+                w.u64(task);
+            }
+            Phase::Render { task } => {
+                w.u8(4);
+                w.u64(task);
+            }
+            Phase::Scratch { task, k } => {
+                w.u8(5);
+                w.u64(task);
+                w.u64(k);
+            }
+            Phase::RayIdLoad { task } => {
+                w.u8(6);
+                w.u64(task);
+            }
+            Phase::RayIdStore { task } => {
+                w.u8(7);
+                w.u64(task);
+            }
+            Phase::RayIdExit { task } => {
+                w.u8(8);
+                w.u64(task);
+            }
+            Phase::StatEnter { task } => {
+                w.u8(9);
+                w.u64(task);
+            }
+            Phase::StatLoad { task } => {
+                w.u8(10);
+                w.u64(task);
+            }
+            Phase::StatStore { task } => {
+                w.u8(11);
+                w.u64(task);
+            }
+            Phase::StatExit { task } => {
+                w.u8(12);
+                w.u64(task);
+            }
+            Phase::FinalBarrier => w.u8(13),
+            Phase::Finished => w.u8(14),
+        }
+        w.u64(self.seen);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = match r.u8()? {
+            0 => Phase::GrabEnter,
+            1 => Phase::GrabLoad,
+            2 => Phase::GrabStore,
+            3 => Phase::GrabExit { task: r.u64()? },
+            4 => Phase::Render { task: r.u64()? },
+            5 => Phase::Scratch { task: r.u64()?, k: r.u64()? },
+            6 => Phase::RayIdLoad { task: r.u64()? },
+            7 => Phase::RayIdStore { task: r.u64()? },
+            8 => Phase::RayIdExit { task: r.u64()? },
+            9 => Phase::StatEnter { task: r.u64()? },
+            10 => Phase::StatLoad { task: r.u64()? },
+            11 => Phase::StatStore { task: r.u64()? },
+            12 => Phase::StatExit { task: r.u64()? },
+            13 => Phase::FinalBarrier,
+            14 => Phase::Finished,
+            tag => return Err(SnapError::BadTag { what: "raytr phase", tag: u64::from(tag) }),
+        };
+        self.seen = r.u64()?;
+        Ok(())
     }
 }
 
