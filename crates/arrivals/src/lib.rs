@@ -1,0 +1,40 @@
+//! `glocks-arrivals` — an open-loop arrival engine for lock-service
+//! workloads.
+//!
+//! Every workload the simulator grew up with is *closed-loop*: each core
+//! loops acquire → critical section → release, so offered load is
+//! implicitly bounded by core count and the machine can never be pushed
+//! past its lock-service capacity. This crate adds the other half of the
+//! queueing picture:
+//!
+//! * [`process`] — seeded, deterministic arrival processes (Poisson and
+//!   bursty two-state MMPP), sampled with von Neumann's
+//!   comparison-of-uniforms exponential method so the schedule is exact
+//!   integer math (bit-reproducible across platforms, no `libm`);
+//! * [`service`] — [`service::ServiceWorkload`], a per-core request server
+//!   that sleeps between arrivals (`Action::WaitUntil`), serves a bounded
+//!   FIFO backlog through any [`glocks_cpu::LockBackend`], and feeds
+//!   per-request queue-wait / acquire-wait / total-latency log2 histograms;
+//! * [`tenant`] — multi-tenant mixes: N independent request streams ×
+//!   M locks mapped round-robin onto cores, each tenant with its own rate
+//!   and its own latency histogram;
+//! * [`slo`] — the end-of-run SLO report: interpolated p50/p90/p99/p999
+//!   of total request latency, dropped/backlogged counts, and a
+//!   saturation flag, published as `slo.*` counters in the stats dump
+//!   (only when a service workload actually ran, so closed-loop dumps are
+//!   untouched).
+//!
+//! Determinism contract: the arrival RNG derives from the top-level seed
+//! through [`glocks_sim_base::SplitMix64::domain_stream`] under
+//! [`ARRIVAL_DOMAIN`] — the same scheme the fault injector uses — so fault
+//! plans and arrival schedules stay independently reproducible under one
+//! seed, and every generator checkpoints through the snap codec.
+
+pub mod process;
+pub mod service;
+pub mod slo;
+pub mod tenant;
+
+pub use process::{ArrivalGen, ArrivalProcess, ARRIVAL_DOMAIN};
+pub use service::{ServiceConfig, ServiceWorkload};
+pub use tenant::{mix_workloads, TenantSpec};

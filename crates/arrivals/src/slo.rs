@@ -1,0 +1,150 @@
+//! End-of-run SLO report.
+//!
+//! [`publish`] inspects the live stats registry for service histograms and,
+//! when (and only when) an open-loop workload ran, adds an `slo.*` family
+//! of counters to the dump:
+//!
+//! | key | meaning |
+//! |-----|---------|
+//! | `slo.p50` / `slo.p90` / `slo.p99` / `slo.p999` | interpolated quantiles of `service.total_latency_cycles` |
+//! | `slo.dropped` | requests rejected by full backlogs |
+//! | `slo.backlogged` | requests arrived but neither completed nor dropped when the run ended |
+//! | `slo.saturated` | 1 when the run was past the knee (see [`is_saturated`]) |
+//! | `slo.t{k}.p99` / `slo.t{k}.p999` | per-tenant total-latency tails |
+//!
+//! Closed-loop runs register no `service.*` stats, so `publish` is a no-op
+//! for them and the committed golden dump stays byte-identical.
+
+use glocks_stats::StatsDump;
+
+/// Saturation threshold: mean queue wait exceeding this multiple of the
+/// mean service time flags the run as past the knee. In an M/M/1 queue
+/// mean wait = ρ/(1−ρ) service times, so a factor of 8 corresponds to
+/// utilization ρ ≈ 0.89 — comfortably past the hockey-stick bend but
+/// before latencies diverge to the horizon.
+pub const SATURATION_WAIT_FACTOR: f64 = 8.0;
+
+/// The saturation predicate, shared by [`publish`] and the harness sweep:
+/// a run is saturated when requests were dropped, when requests were still
+/// backlogged at the end, or when the mean queue wait exceeds
+/// [`SATURATION_WAIT_FACTOR`] × the mean service time.
+pub fn is_saturated(
+    dropped: u64,
+    backlogged: u64,
+    mean_queue_wait: f64,
+    mean_service: f64,
+) -> bool {
+    dropped > 0
+        || backlogged > 0
+        || mean_queue_wait > SATURATION_WAIT_FACTOR * mean_service.max(1.0)
+}
+
+/// Compute the SLO figures from a dump's service stats. Returns `None`
+/// when the dump has no service histograms (a closed-loop run).
+pub fn report(dump: &StatsDump) -> Option<Vec<(String, u64)>> {
+    let total = dump.hists.get("service.total_latency_cycles")?;
+    let queue = dump.hists.get("service.queue_wait_cycles");
+    let arrivals = dump.counters.get("service.arrivals").copied().unwrap_or(0);
+    let completed = dump.counters.get("service.completed").copied().unwrap_or(0);
+    let dropped = dump.counters.get("service.dropped").copied().unwrap_or(0);
+    let backlogged = arrivals.saturating_sub(completed).saturating_sub(dropped);
+
+    let mean_queue = queue.map_or(0.0, |h| h.mean());
+    // Mean time actually being served = total latency minus queue wait.
+    let mean_service = (total.mean() - mean_queue).max(0.0);
+    let saturated = is_saturated(dropped, backlogged, mean_queue, mean_service);
+
+    let mut out = vec![
+        ("slo.p50".to_string(), total.quantile(0.50)),
+        ("slo.p90".to_string(), total.quantile(0.90)),
+        ("slo.p99".to_string(), total.quantile(0.99)),
+        ("slo.p999".to_string(), total.quantile(0.999)),
+        ("slo.dropped".to_string(), dropped),
+        ("slo.backlogged".to_string(), backlogged),
+        ("slo.saturated".to_string(), u64::from(saturated)),
+    ];
+    // Per-tenant tails, for multi-tenant interference rows.
+    for (name, h) in &dump.hists {
+        let Some(rest) = name.strip_prefix("service.t") else { continue };
+        let Some(tenant) = rest.strip_suffix(".total_latency_cycles") else { continue };
+        if tenant.is_empty() || !tenant.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        out.push((format!("slo.t{tenant}.p99"), h.quantile(0.99)));
+        out.push((format!("slo.t{tenant}.p999"), h.quantile(0.999)));
+    }
+    Some(out)
+}
+
+/// Publish the SLO counters into the live registry (no-op when stats are
+/// off or no service workload ran). The runner calls this right before
+/// taking the final snapshot.
+pub fn publish() {
+    if !glocks_stats::is_enabled() {
+        return;
+    }
+    let dump = glocks_stats::snapshot();
+    let Some(figures) = report(&dump) else { return };
+    for (name, v) in figures {
+        glocks_stats::set(glocks_stats::counter(&name), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_is_noop_without_service_stats() {
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        glocks_stats::add(glocks_stats::counter("sim.cycles"), 100);
+        publish();
+        let d = glocks_stats::snapshot();
+        assert!(
+            d.counters.keys().all(|k| !k.starts_with("slo.")),
+            "closed-loop dumps must stay slo-free: {:?}",
+            d.counters.keys().collect::<Vec<_>>()
+        );
+        glocks_stats::disable();
+    }
+
+    #[test]
+    fn publish_emits_slo_family_for_service_runs() {
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let ht = glocks_stats::hist("service.total_latency_cycles");
+        let hq = glocks_stats::hist("service.queue_wait_cycles");
+        let h0 = glocks_stats::hist("service.t0.total_latency_cycles");
+        for v in [40u64, 44, 60, 200] {
+            glocks_stats::hist_record(ht, v);
+            glocks_stats::hist_record(h0, v);
+        }
+        for v in [2u64, 3, 4, 100] {
+            glocks_stats::hist_record(hq, v);
+        }
+        glocks_stats::set(glocks_stats::counter("service.arrivals"), 5);
+        glocks_stats::set(glocks_stats::counter("service.completed"), 4);
+        glocks_stats::set(glocks_stats::counter("service.dropped"), 1);
+        publish();
+        let d = glocks_stats::snapshot();
+        for k in ["slo.p50", "slo.p90", "slo.p99", "slo.p999", "slo.t0.p99", "slo.t0.p999"] {
+            assert!(d.counters.contains_key(k), "missing {k}");
+        }
+        assert_eq!(d.counters["slo.dropped"], 1);
+        assert_eq!(d.counters["slo.backlogged"], 0);
+        assert_eq!(d.counters["slo.saturated"], 1, "drops imply saturation");
+        assert!(d.counters["slo.p999"] >= d.counters["slo.p50"]);
+        glocks_stats::disable();
+    }
+
+    #[test]
+    fn saturation_predicate_matches_definition() {
+        assert!(is_saturated(1, 0, 0.0, 100.0), "drops saturate");
+        assert!(is_saturated(0, 3, 0.0, 100.0), "leftover backlog saturates");
+        assert!(!is_saturated(0, 0, 100.0, 100.0), "short waits are healthy");
+        assert!(is_saturated(0, 0, 1_000.0, 100.0), "long waits saturate");
+        assert!(
+            is_saturated(0, 0, 20.0, 0.0),
+            "zero measured service time clamps to 1 cycle, not divide-by-zero"
+        );
+    }
+}

@@ -1,4 +1,6 @@
-//! Per-thread execution-time attribution — Figure 8's four categories.
+//! Per-thread execution-time attribution — Figure 8's four categories,
+//! plus an `Idle` bucket for open-loop service workloads (a core sleeping
+//! between request arrivals is doing none of the paper's four things).
 
 use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 
@@ -13,6 +15,9 @@ pub enum Category {
     Lock,
     /// Inside a barrier episode ("Barrier").
     Barrier,
+    /// Sleeping until a scheduled arrival (`Action::WaitUntil`). Closed-loop
+    /// workloads never charge this, so Figure 8's four-way split is intact.
+    Idle,
 }
 
 /// Cycle counts per category for one thread.
@@ -22,6 +27,8 @@ pub struct Breakdown {
     pub memory: u64,
     pub lock: u64,
     pub barrier: u64,
+    /// Open-loop inter-arrival sleep; always 0 for closed-loop workloads.
+    pub idle: u64,
     /// Dynamic instructions executed (energy-model input).
     pub instructions: u64,
 }
@@ -34,11 +41,18 @@ impl Breakdown {
             Category::Memory => self.memory += cycles,
             Category::Lock => self.lock += cycles,
             Category::Barrier => self.barrier += cycles,
+            Category::Idle => self.idle += cycles,
         }
     }
 
-    /// Total attributed cycles.
+    /// Total attributed cycles (including idle sleep).
     pub fn total(&self) -> u64 {
+        self.busy + self.memory + self.lock + self.barrier + self.idle
+    }
+
+    /// Attributed cycles spent doing work, excluding inter-arrival sleep —
+    /// the denominator for Figure 8's four-way fractions.
+    pub fn active(&self) -> u64 {
         self.busy + self.memory + self.lock + self.barrier
     }
 
@@ -48,11 +62,12 @@ impl Breakdown {
         self.memory += other.memory;
         self.lock += other.lock;
         self.barrier += other.barrier;
+        self.idle += other.idle;
         self.instructions += other.instructions;
     }
 
     pub fn save_state(&self, w: &mut SnapWriter) {
-        for v in [self.busy, self.memory, self.lock, self.barrier, self.instructions] {
+        for v in [self.busy, self.memory, self.lock, self.barrier, self.idle, self.instructions] {
             w.u64(v);
         }
     }
@@ -62,14 +77,17 @@ impl Breakdown {
         self.memory = r.u64()?;
         self.lock = r.u64()?;
         self.barrier = r.u64()?;
+        self.idle = r.u64()?;
         self.instructions = r.u64()?;
         Ok(())
     }
 
-    /// Fractions of the total per category
+    /// Fractions of the active (non-idle) cycles per category
     /// `[busy, memory, lock, barrier]`; zeros if nothing attributed.
+    /// Idle sleep is excluded so the Figure 8 split stays a distribution
+    /// over working cycles even for open-loop service runs.
     pub fn fractions(&self) -> [f64; 4] {
-        let t = self.total();
+        let t = self.active();
         if t == 0 {
             return [0.0; 4];
         }
@@ -105,10 +123,22 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = Breakdown { busy: 1, memory: 2, lock: 3, barrier: 4, instructions: 5 };
+        let mut a =
+            Breakdown { busy: 1, memory: 2, lock: 3, barrier: 4, idle: 0, instructions: 5 };
         let b = a;
         a.merge(&b);
         assert_eq!(a.total(), 20);
         assert_eq!(a.instructions, 10);
+    }
+
+    #[test]
+    fn idle_excluded_from_fractions_but_counted_in_total() {
+        let mut b = Breakdown::default();
+        b.charge(Category::Busy, 30);
+        b.charge(Category::Memory, 10);
+        b.charge(Category::Idle, 60);
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.active(), 40);
+        assert_eq!(b.fractions(), [0.75, 0.25, 0.0, 0.0]);
     }
 }

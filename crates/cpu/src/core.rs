@@ -38,6 +38,8 @@ enum State {
     WaitingMem,
     /// Thread completed.
     Finished,
+    /// Sleeping until this absolute cycle (`Action::WaitUntil`).
+    WaitingUntil(Cycle),
 }
 
 /// What a core is doing right now, at sub-script granularity — the unit of
@@ -58,6 +60,8 @@ pub enum CoreActivity {
     Releasing(LockId),
     /// Inside a barrier-wait script.
     InBarrier,
+    /// Sleeping until a scheduled arrival (open-loop workloads).
+    Idle,
     /// Thread done.
     Finished,
 }
@@ -144,9 +148,16 @@ impl Core {
         ] {
             glocks_stats::set(glocks_stats::counter(&format!("cpu.core{n}.{field}")), v);
         }
+        // Only open-loop workloads ever accumulate idle sleep; publishing
+        // the key conditionally keeps closed-loop dumps (and the committed
+        // golden) byte-identical.
+        if b.idle > 0 {
+            glocks_stats::set(glocks_stats::counter(&format!("cpu.core{n}.idle_cycles")), b.idle);
+        }
         if let Some(at) = self.finished_at {
             glocks_stats::set(glocks_stats::counter(&format!("cpu.core{n}.finished_at")), at);
         }
+        self.workload.publish_stats();
     }
 
     /// Monotone count of workload-level progress: top-level actions pulled
@@ -171,6 +182,18 @@ impl Core {
             State::Computing(_) => CoreActivity::Computing,
             State::WaitingMem => CoreActivity::WaitingMem,
             State::Finished => CoreActivity::Finished,
+            State::WaitingUntil(_) => CoreActivity::Idle,
+        }
+    }
+
+    /// If this core is asleep in `Action::WaitUntil` past `now`, the cycle
+    /// it will wake at. The runner's watchdog treats a fully-sleeping
+    /// machine as healthy (progress resumes at the earliest wake), unlike a
+    /// spinning or wedged one.
+    pub fn sleeping_until(&self, now: Cycle) -> Option<Cycle> {
+        match self.state {
+            State::WaitingUntil(t) if t > now => Some(t),
+            _ => None,
         }
     }
 
@@ -180,13 +203,11 @@ impl Core {
                 SubKind::Acquire(_) | SubKind::Release(_) => Category::Lock,
                 SubKind::Barrier => Category::Barrier,
             },
-            None => {
-                if matches!(self.state, State::WaitingMem) {
-                    Category::Memory
-                } else {
-                    Category::Busy
-                }
-            }
+            None => match self.state {
+                State::WaitingMem => Category::Memory,
+                State::WaitingUntil(_) => Category::Idle,
+                _ => Category::Busy,
+            },
         }
     }
 
@@ -204,6 +225,10 @@ impl Core {
             }
             State::WaitingMem => w.u8(2),
             State::Finished => w.u8(3),
+            State::WaitingUntil(t) => {
+                w.u8(4);
+                w.u64(t);
+            }
         }
         self.workload.save_state(w)?;
         w.bool(self.sub.is_some());
@@ -244,6 +269,7 @@ impl Core {
             1 => State::Computing(r.u64()?),
             2 => State::WaitingMem,
             3 => State::Finished,
+            4 => State::WaitingUntil(r.u64()?),
             tag => return Err(SnapError::BadTag { what: "core state", tag: u64::from(tag) }),
         };
         self.workload.load_state(r)?;
@@ -299,6 +325,14 @@ impl Core {
         if matches!(self.state, State::WaitingMem) {
             if let Some(r) = mem.take_result(self.id) {
                 self.last_value = r.value;
+                self.state = State::Ready;
+            }
+        }
+        if let State::WaitingUntil(t) = self.state {
+            if now >= t {
+                // Wake: the workload is resumed with the current cycle so
+                // open-loop generators can timestamp the request.
+                self.last_value = now;
                 self.state = State::Ready;
             }
         }
@@ -382,6 +416,15 @@ impl Core {
                         });
                         self.last_value = 0;
                         continue;
+                    }
+                    Action::WaitUntil(t) => {
+                        if t <= now {
+                            // Already due: a zero-cost clock read.
+                            self.last_value = now;
+                            continue;
+                        }
+                        self.state = State::WaitingUntil(t);
+                        return;
                     }
                     Action::Done => {
                         self.state = State::Finished;
@@ -536,6 +579,52 @@ mod tests {
         // `seen_values` isn't reachable after the move; verify via the
         // breakdown instead: 2 mem instructions + 2 compute.
         assert_eq!(core.breakdown().instructions, 4);
+    }
+
+    #[test]
+    fn wait_until_sleeps_and_charges_idle() {
+        // Compute 2 instr (1 cycle busy), sleep until cycle 100, compute 2.
+        let (core, at) = run(
+            vec![Action::Compute(2), Action::WaitUntil(100), Action::Compute(2)],
+            4,
+        );
+        assert_eq!(core.breakdown().busy, 2);
+        assert_eq!(core.breakdown().idle, 99, "cycles 1..=99 sleep");
+        assert_eq!(core.breakdown().lock, 0);
+        assert_eq!(at, 101, "wakes at 100, computes, finishes at 101");
+        assert_eq!(core.breakdown().fractions(), [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn wait_until_in_past_is_free_clock_read() {
+        let (core, at) = run(vec![Action::WaitUntil(0), Action::Compute(2)], 4);
+        assert_eq!(core.breakdown().idle, 0);
+        assert_eq!(core.breakdown().busy, 1);
+        let (plain, plain_at) = run(vec![Action::Compute(2)], 4);
+        assert_eq!(at, plain_at, "an already-due wait costs nothing");
+        assert_eq!(core.breakdown().total(), plain.breakdown().total());
+    }
+
+    #[test]
+    fn sleeping_core_reports_wake_cycle() {
+        let cfg = CmpConfig::paper_baseline().with_cores(2);
+        let mut mem = MemorySystem::new(&cfg);
+        let locks: Vec<Box<dyn LockBackend>> = vec![Box::new(FixedLock(4))];
+        let barrier = FixedBarrier(1);
+        let backends = Backends { locks: &locks, barrier: &barrier };
+        let mut tracker = LockTracker::new(1, 2);
+        let mut core = Core::new(
+            CoreId(0),
+            2,
+            Box::new(Scripted::new(vec![Action::WaitUntil(500)])),
+        );
+        for now in 0..10 {
+            core.tick(now, &mut mem, &backends, &mut tracker);
+            mem.tick(now);
+        }
+        assert_eq!(core.sleeping_until(9), Some(500));
+        assert_eq!(core.activity(), CoreActivity::Idle);
+        assert_eq!(core.sleeping_until(500), None, "due means not sleeping");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use glocks_mem::MemOp;
 use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
-use glocks_sim_base::{LockId, ThreadId};
+use glocks_sim_base::{Cycle, LockId, ThreadId};
 
 /// What a workload thread asks its core to do next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +19,14 @@ pub enum Action {
     Release(LockId),
     /// Wait at the global barrier.
     Barrier,
+    /// Sleep until the given absolute cycle, then resume the workload with
+    /// `last` = the current cycle. A target at or before the current cycle
+    /// completes immediately at zero cost, so `WaitUntil(0)` doubles as a
+    /// clock read. This is the open-loop request-injection point: an
+    /// arrival-driven workload sleeps here between scheduled requests, and
+    /// the sleep is attributed to the `Idle` breakdown category rather than
+    /// any of Figure 8's four working categories.
+    WaitUntil(Cycle),
     /// This thread has finished the parallel phase.
     Done,
 }
@@ -72,6 +80,14 @@ pub trait Workload {
     fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         Err(SnapError::Unsupported { what: "workload snapshot" })
     }
+
+    /// End-of-run hook: publish workload-level summary counters into the
+    /// stats registry (called once per core from [`crate::Core::publish_stats`],
+    /// only when stats are enabled). Closed-loop workloads have nothing
+    /// beyond what the core already reports, so the default is a no-op;
+    /// open-loop service workloads publish arrival/completion/drop totals
+    /// here.
+    fn publish_stats(&self) {}
 }
 
 /// A lock implementation: manufactures acquire/release scripts. Backends

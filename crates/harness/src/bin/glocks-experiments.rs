@@ -8,7 +8,7 @@
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
 //!           | table1 | table2 | table3 | table4 | ablations | multiprog
-//!           | faults | chaos
+//!           | faults | chaos | service
 //! --quick            reduced input sizes (seconds instead of minutes)
 //! --threads N        CMP size for the main experiments (default 32)
 //! --watchdog-cycles N  override the no-forward-progress window for every
@@ -42,7 +42,7 @@
 use glocks_harness::{
     ablation, chaos,
     exp::{self, ExpOptions},
-    faults, fig1, fig10, fig7, fig8, fig9, multiprog,
+    faults, fig1, fig10, fig7, fig8, fig9, multiprog, service,
     sweep::{self, RunOutput, SweepConfig},
     table1, table2, table3, table4,
 };
@@ -181,6 +181,14 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
             writeln!(out, "{}", t.render()).unwrap();
             write_csv(csv_dir, "chaos", &t);
         }
+        "service" => {
+            let t = service::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "service", &t);
+            let s = service::run_studies(opts);
+            writeln!(out, "{}", s.render()).unwrap();
+            write_csv(csv_dir, "service_studies", &s);
+        }
         "multiprog" => {
             let t = multiprog::run_study(opts);
             writeln!(out, "{}", t.render()).unwrap();
@@ -312,7 +320,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|service|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
                 );
                 return;
             }
@@ -323,7 +331,7 @@ fn main() {
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = [
             "table1", "table2", "table3", "fig1", "fig7", "fig8", "table4", "fig9", "fig10",
-            "ablations", "multiprog", "faults", "chaos",
+            "ablations", "multiprog", "faults", "chaos", "service",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -100,6 +100,37 @@ impl LockAlgorithm {
         }
     }
 
+    /// Every algorithm, in the order the paper's figures list them.
+    pub const ALL: [LockAlgorithm; 12] = [
+        LockAlgorithm::Simple,
+        LockAlgorithm::Tatas,
+        LockAlgorithm::TatasBackoff,
+        LockAlgorithm::Ticket,
+        LockAlgorithm::Anderson,
+        LockAlgorithm::Mcs,
+        LockAlgorithm::Ideal,
+        LockAlgorithm::Glock,
+        LockAlgorithm::MpLock,
+        LockAlgorithm::SyncBuf,
+        LockAlgorithm::DynamicGlock,
+        LockAlgorithm::Reactive,
+    ];
+
+    /// Parse a [`LockAlgorithm::name`] label back into the algorithm,
+    /// case-insensitively and ignoring `-`/`_` (so `glock`, `tatas-bo`,
+    /// `TATAS_BO` and `mp-lock` all resolve). Returns `None` for unknown
+    /// labels — CLI arms turn that into a usage error naming the valid set.
+    pub fn parse(label: &str) -> Option<LockAlgorithm> {
+        let canon = |s: &str| {
+            s.chars()
+                .filter(|c| *c != '-' && *c != '_')
+                .map(|c| c.to_ascii_lowercase())
+                .collect::<String>()
+        };
+        let want = canon(label);
+        LockAlgorithm::ALL.into_iter().find(|a| canon(a.name()) == want)
+    }
+
     /// Manufacture a backend. `base` is the start of this lock's private
     /// region of simulated memory (unused by `Ideal`/`Glock`/`MpLock`);
     /// `glock_regs` is required for [`LockAlgorithm::Glock`], and
@@ -150,6 +181,17 @@ mod tests {
         assert_eq!(LockAlgorithm::SyncBuf.name(), "SB");
         assert_eq!(LockAlgorithm::DynamicGlock.name(), "DynGLock");
         assert_eq!(LockAlgorithm::Reactive.name(), "Reactive");
+    }
+
+    #[test]
+    fn parse_round_trips_every_label() {
+        for a in LockAlgorithm::ALL {
+            assert_eq!(LockAlgorithm::parse(a.name()), Some(a), "{}", a.name());
+        }
+        assert_eq!(LockAlgorithm::parse("glock"), Some(LockAlgorithm::Glock));
+        assert_eq!(LockAlgorithm::parse("tatas_bo"), Some(LockAlgorithm::TatasBackoff));
+        assert_eq!(LockAlgorithm::parse("mplock"), Some(LockAlgorithm::MpLock));
+        assert_eq!(LockAlgorithm::parse("no-such-lock"), None);
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::fmt;
 /// First bytes of every snapshot ("GLSN").
 pub const SNAP_MAGIC: u32 = 0x474C_534E;
 /// Bump on any incompatible change to the encoded layout.
-pub const SNAP_VERSION: u32 = 1;
+/// v2: per-core `Breakdown` gained an `idle` field (open-loop arrivals).
+pub const SNAP_VERSION: u32 = 2;
 
 /// Why a snapshot could not be written or read back.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -556,6 +556,15 @@ impl Simulation {
         }
         if progress_sum > self.progress_mark.0 {
             self.progress_mark = (progress_sum, self.now);
+        } else if self
+            .cores
+            .iter()
+            .all(|c| c.is_finished() || c.sleeping_until(self.now).is_some())
+        {
+            // Open-loop lull: every unfinished core is deliberately asleep
+            // waiting for its next arrival (`Action::WaitUntil`). Time
+            // passing toward a known wake cycle is progress, not a wedge.
+            self.progress_mark.1 = self.now;
         } else if self.options.watchdog_cycles > 0
             && self.now - self.progress_mark.1 >= self.options.watchdog_cycles
         {
@@ -836,6 +845,10 @@ impl Simulation {
             if let Some(ck) = &self.checker {
                 ck.publish_stats();
             }
+            // Open-loop SLO report: adds `slo.*` keys only when a service
+            // workload registered `service.*` histograms, so closed-loop
+            // dumps keep their golden schema.
+            glocks_arrivals::slo::publish();
             Some(glocks_stats::snapshot())
         } else {
             None

@@ -258,8 +258,95 @@ fn mismatched_configuration_is_refused() {
     assert!(matches!(err2, SnapError::FingerprintMismatch { .. }), "{err2}");
 }
 
+/// Per-core workloads of an open-loop service machine: bursty MMPP
+/// arrivals over one lock, so a checkpoint can land mid-burst with
+/// requests queued, a request in flight, and the arrival RNG mid-stream.
+/// Stats ids register in construction order — identical for the baseline
+/// and the resumed process, which is what the registry restore checks.
+fn service_workloads(cores: usize) -> Vec<Box<dyn Workload>> {
+    use glocks_arrivals::{ArrivalProcess, ServiceConfig, ServiceWorkload};
+    (0..cores)
+        .map(|core| {
+            let c = ServiceConfig {
+                lock: LockId(0),
+                data: COUNTER,
+                cs_instructions: 8,
+                requests: 10,
+                queue_cap: 16,
+                process: ArrivalProcess::Mmpp {
+                    calm_gap: 900,
+                    burst_gap: 60,
+                    calm_dwell: 3_000,
+                    burst_dwell: 2_000,
+                },
+                tenant: 0,
+            };
+            Box::new(ServiceWorkload::new(c, 0xA11E, core as u64)) as Box<dyn Workload>
+        })
+        .collect()
+}
+
+fn build_service(algo: LockAlgorithm, cores: usize) -> Simulation {
+    let cfg = CmpConfig::paper_baseline().with_cores(cores);
+    let mapping = LockMapping::uniform(algo, 1);
+    let options = SimulationOptions { watchdog_cycles: 500_000, ..Default::default() };
+    Simulation::new(&cfg, &mapping, service_workloads(cores), &[(COUNTER, 0)], options)
+}
+
+fn run_service(sim: Simulation) -> (String, u64) {
+    let (report, mem) = sim.run().expect("service run must complete");
+    let json = report.stats.as_ref().expect("stats were enabled").to_json();
+    let counter = mem.store().load(COUNTER);
+    glocks_stats::disable();
+    (json, counter)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite property: an open-loop service run interrupted mid-burst
+    /// at a random cycle and resumed produces a byte-identical stats dump
+    /// (arrival RNG position, backlog contents, in-flight request
+    /// timestamps and live histograms all ride through the snapshot).
+    #[test]
+    fn service_resume_mid_burst_is_byte_identical(
+        at_cycle in 200u64..8_000,
+        family in 0u8..2,
+    ) {
+        let algo = if family == 0 { LockAlgorithm::Mcs } else { LockAlgorithm::Glock };
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let (ref_json, ref_counter) = run_service(build_service(algo, 6));
+
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let mut sim = build_service(algo, 6);
+        while sim.now() < at_cycle {
+            if sim.step().expect("healthy until checkpoint") {
+                break;
+            }
+        }
+        let bytes = sim.checkpoint().expect("service workloads snapshot").into_bytes();
+        drop(sim);
+        glocks_stats::disable();
+
+        let snap = Snapshot::from_bytes(bytes).expect("snapshot byte round-trip");
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let cfg = CmpConfig::paper_baseline().with_cores(6);
+        let mapping = LockMapping::uniform(algo, 1);
+        let options = SimulationOptions { watchdog_cycles: 500_000, ..Default::default() };
+        let resumed = Simulation::resume(
+            &cfg,
+            &mapping,
+            service_workloads(6),
+            &[(COUNTER, 0)],
+            options,
+            &snap,
+        )
+        .expect("snapshot loads into an identical service machine");
+        prop_assert_eq!(resumed.now(), snap.cycle());
+        let (got_json, got_counter) = run_service(resumed);
+        prop_assert_eq!(got_counter, ref_counter);
+        prop_assert_eq!(got_json, ref_json, "service resume not byte-identical");
+    }
 
     /// Satellite property: checkpoint at a *random* cycle, resume, and the
     /// final stats dump is byte-identical — across algorithm families and

@@ -1,0 +1,102 @@
+//! End-to-end open-loop service runs through the full machine: arrivals
+//! sleep on `Action::WaitUntil`, the sleep-aware watchdog tolerates lulls
+//! between bursts, mutual exclusion holds (shared word = completed
+//! requests), and the final dump carries the `slo.*` report.
+
+use glocks_arrivals::{mix_workloads, slo, ArrivalProcess, TenantSpec};
+use glocks_arrivals::tenant::mix_init;
+use glocks_locks::LockAlgorithm;
+use glocks_sim::{LockMapping, Simulation, SimulationOptions};
+use glocks_sim_base::{Addr, CmpConfig, LockId};
+
+fn run_mix(
+    algo: LockAlgorithm,
+    tenants: &[TenantSpec],
+    n_cores: usize,
+    watchdog: u64,
+) -> (glocks_stats::StatsDump, Vec<u64>) {
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let cfg = CmpConfig::paper_baseline().with_cores(n_cores);
+    let n_locks = tenants.iter().map(|t| usize::from(t.lock.0) + 1).max().unwrap();
+    let mapping = LockMapping::uniform(algo, n_locks);
+    let workloads = mix_workloads(0x51_0A0, tenants, n_cores);
+    let init = mix_init(tenants);
+    let options = SimulationOptions { watchdog_cycles: watchdog, ..Default::default() };
+    let sim = Simulation::new(&cfg, &mapping, workloads, &init, options);
+    let (report, mem) = sim.run().expect("service run must complete");
+    let dump = report.stats.expect("stats were enabled");
+    let words = tenants.iter().map(|t| mem.store().load(t.data)).collect();
+    glocks_stats::disable();
+    (dump, words)
+}
+
+fn tenant(lock: u16, data: Addr, process: ArrivalProcess) -> TenantSpec {
+    TenantSpec {
+        process,
+        lock: LockId(lock),
+        data,
+        requests_per_core: 20,
+        cs_instructions: 16,
+        queue_cap: 64,
+    }
+}
+
+/// A lazy single-tenant stream: mean gap far above the service time, so
+/// cores spend most of the run asleep. A small watchdog window proves the
+/// sleep-aware check treats deliberate idleness as progress.
+#[test]
+fn underloaded_service_completes_with_slo_report() {
+    let t = tenant(0, Addr(0x0200_0000), ArrivalProcess::Poisson { mean_gap: 12_000 });
+    let (dump, words) = run_mix(LockAlgorithm::Mcs, &[t], 4, 4_000);
+    let completed = dump.counters["service.completed"];
+    assert_eq!(completed, 4 * 20, "every request served when underloaded");
+    assert_eq!(dump.counters["service.dropped"], 0);
+    assert_eq!(words[0], completed, "mutual exclusion: word counts completions");
+    for k in ["slo.p50", "slo.p99", "slo.p999", "slo.saturated", "slo.backlogged"] {
+        assert!(dump.counters.contains_key(k), "missing {k}");
+    }
+    assert_eq!(dump.counters["slo.saturated"], 0, "lazy stream must not saturate");
+    assert!(dump.counters["slo.p999"] >= dump.counters["slo.p50"]);
+}
+
+/// Two tenants (one calm Poisson, one bursty MMPP) on disjoint locks and
+/// words, under GLock. Per-tenant accounting must stay separate.
+#[test]
+fn two_tenant_mix_keeps_tenants_isolated() {
+    let tenants = [
+        tenant(0, Addr(0x0200_0000), ArrivalProcess::Poisson { mean_gap: 2_000 }),
+        tenant(
+            1,
+            Addr(0x1200_0000),
+            ArrivalProcess::Mmpp {
+                calm_gap: 4_000,
+                burst_gap: 100,
+                calm_dwell: 20_000,
+                burst_dwell: 5_000,
+            },
+        ),
+    ];
+    let (dump, words) = run_mix(LockAlgorithm::Glock, &tenants, 8, 100_000);
+    // 8 cores round-robin over 2 tenants → 4 cores × 20 requests each.
+    let t0 = dump.counters["service.t0.completed"];
+    let t1 = dump.counters["service.t1.completed"];
+    assert!(t0 > 0 && t1 > 0);
+    assert_eq!(t0 + t1 + dump.counters["service.dropped"], 8 * 20);
+    assert_eq!(words[0], t0, "tenant 0's word counts only its completions");
+    assert_eq!(words[1], t1, "tenant 1's word counts only its completions");
+    for k in ["slo.t0.p99", "slo.t0.p999", "slo.t1.p99", "slo.t1.p999"] {
+        assert!(dump.counters.contains_key(k), "missing {k}");
+    }
+}
+
+/// The `slo::report` helper agrees with the counters the runner published
+/// (same dump, same quantile math).
+#[test]
+fn published_slo_counters_match_report_helper() {
+    let t = tenant(0, Addr(0x0200_0000), ArrivalProcess::Poisson { mean_gap: 800 });
+    let (dump, _) = run_mix(LockAlgorithm::Ticket, &[t], 4, 200_000);
+    let figures = slo::report(&dump).expect("service hists are present");
+    for (name, v) in figures {
+        assert_eq!(dump.counters[&name], v, "published {name} diverges from report()");
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! glocks-stats show  DUMP.json                 # human-readable summary
 //! glocks-stats csv   DUMP.json                 # flat CSV on stdout
+//! glocks-stats quantiles DUMP.json [HIST]      # p50/p90/p99/p999 per histogram
 //! glocks-stats diff  OLD.json NEW.json         # regression gate
 //!     [--tolerance FRAC]      relative drift allowed (default 0.01)
 //!     [--abs-floor N]         ignore changes when both values <= N (default 4)
@@ -35,6 +36,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: glocks-stats show DUMP.json\n\
          \x20      glocks-stats csv  DUMP.json\n\
+         \x20      glocks-stats quantiles DUMP.json [HIST-NAME]\n\
          \x20      glocks-stats diff OLD.json NEW.json [--tolerance FRAC] [--abs-floor N]\n\
          \x20                        [--watch PREFIX]... [--allow-shape-change] [--all]"
     );
@@ -85,6 +87,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("show") if args.len() == 2 => show(&args[1]),
         Some("csv") if args.len() == 2 => csv(&args[1]),
+        Some("quantiles") if args.len() == 2 || args.len() == 3 => {
+            quantiles(&args[1], args.get(2).map(String::as_str))
+        }
         Some("diff") if args.len() >= 3 => cmd_diff(&args[1], &args[2], &args[3..]),
         _ => usage(),
     }
@@ -131,6 +136,53 @@ fn show(path: &str) -> ExitCode {
             "  {k:<48} n={} period={} mean={mean:.2}",
             s.points.len(),
             s.period
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Interpolated p50/p90/p99/p999 for every histogram in the dump (or just
+/// the named one). Uses the same within-bucket interpolation as the SLO
+/// report, so the CLI and the `slo.*` counters agree. A named histogram
+/// that is absent exits 2 (usage error: the dump loaded fine, the name is
+/// wrong).
+fn quantiles(path: &str, name: Option<&str>) -> ExitCode {
+    let d = match load(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            return e.exit_code();
+        }
+    };
+    let selected: Vec<(&String, &glocks_stats::HistDump)> = match name {
+        Some(n) => match d.hists.get_key_value(n) {
+            Some((k, h)) => vec![(k, h)],
+            None => {
+                eprintln!("error: {path}: no histogram named {n:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => d.hists.iter().collect(),
+    };
+    outln!(
+        "{:<48} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "histogram",
+        "count",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "p999"
+    );
+    for (k, h) in selected {
+        outln!(
+            "{k:<48} {:>10} {:>10.1} {:>10} {:>10} {:>10} {:>10}",
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.quantile(0.999)
         );
     }
     ExitCode::SUCCESS

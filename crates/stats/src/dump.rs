@@ -80,6 +80,19 @@ impl HistDump {
         }
         self.max
     }
+
+    /// Interpolated quantile over the sparse buckets — same contract as
+    /// [`Log2Histogram::quantile`] (shared with the SLO report and the
+    /// `glocks-stats quantiles` subcommand).
+    pub fn quantile(&self, q: f64) -> u64 {
+        crate::hist::interpolated_quantile(
+            self.buckets.iter().map(|&(i, c)| (i as usize, c)),
+            self.count,
+            self.min,
+            self.max,
+            q,
+        )
+    }
 }
 
 /// Exported form of a [`TimeSeries`].
@@ -352,6 +365,8 @@ mod tests {
         let d = HistDump::from_hist(&h);
         assert_eq!(d.percentile(0.5), h.percentile(0.5));
         assert_eq!(d.percentile(0.99), h.percentile(0.99));
+        assert_eq!(d.quantile(0.5), h.quantile(0.5));
+        assert_eq!(d.quantile(0.999), h.quantile(0.999));
         assert_eq!(d.mean(), h.mean());
         let rebuilt = d.to_hist();
         assert_eq!(rebuilt.count(), h.count());

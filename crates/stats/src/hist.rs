@@ -127,6 +127,20 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Interpolated quantile: like [`Log2Histogram::percentile`] but
+    /// resolved *within* the containing bucket by linear interpolation (see
+    /// [`interpolated_quantile`]), so p99/p999 SLO figures do not snap to
+    /// power-of-two edges.
+    pub fn quantile(&self, q: f64) -> u64 {
+        interpolated_quantile(
+            self.buckets.iter().enumerate().map(|(i, &c)| (i, c)),
+            self.count,
+            self.min(),
+            self.max,
+            q,
+        )
+    }
+
     pub fn save_state(&self, w: &mut glocks_sim_base::snap::SnapWriter) {
         w.u64_slice(&self.buckets);
         w.u64(self.count);
@@ -167,6 +181,45 @@ impl Log2Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The value below which a fraction `q ∈ [0, 1]` of samples fall, linearly
+/// interpolated within the containing log2 bucket: with `seen` samples
+/// below bucket `i` (bounds `[lo, hi]`, `c` samples), the quantile resolves
+/// to `lo + (q·count − seen)/c · (hi − lo + 1)`, capped at `hi` and clamped
+/// to the observed `[min, max]`. This is the shared helper behind the SLO
+/// report and `glocks-stats quantiles`; `buckets` is a sparse or dense
+/// `(bucket_index, count)` sequence ascending by index. Returns 0 when
+/// `count` is 0.
+pub fn interpolated_quantile(
+    buckets: impl IntoIterator<Item = (usize, u64)>,
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = q.clamp(0.0, 1.0) * count as f64;
+    let mut seen = 0u64;
+    for (i, c) in buckets {
+        if c == 0 {
+            continue;
+        }
+        let next = seen + c;
+        if next as f64 >= target {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            let width = (hi - lo).saturating_add(1);
+            let frac = ((target - seen as f64) / c as f64).clamp(0.0, 1.0);
+            // Saturating f64→u64 cast keeps the top bucket (hi = u64::MAX)
+            // well-defined; the final clamp bounds it by observed samples.
+            let v = (lo as f64 + frac * width as f64).min(hi as f64) as u64;
+            return v.clamp(min, max);
+        }
+        seen = next;
+    }
+    max
 }
 
 #[cfg(test)]
@@ -225,6 +278,41 @@ mod tests {
         assert_eq!(h.percentile(1.0), 200);
         assert_eq!(h.percentile(0.0), 3, "p0 resolves to the first bucket");
         assert_eq!(Log2Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_one_bucket() {
+        // 4 samples, all in the [8, 16) bucket. The plain percentile snaps
+        // to the bucket edge; the quantile spreads the mass evenly across
+        // the bucket: p25 → 8+0.25·8 = 10, p50 → 12, p75 → 14.
+        let mut h = Log2Histogram::new();
+        for v in [8u64, 10, 12, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 10);
+        assert_eq!(h.quantile(0.5), 12);
+        assert_eq!(h.quantile(0.75), 14);
+        assert_eq!(h.quantile(0.0), 8, "p0 is the observed min");
+        assert_eq!(h.quantile(1.0), 15, "p100 is the observed max");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0, "empty → 0");
+        let mut h = Log2Histogram::new();
+        h.record_n(3, 90);
+        h.record_n(200, 10);
+        // p999 lands among the 10 slow samples in [128, 256), clamped to
+        // the observed max.
+        assert_eq!(h.quantile(0.999), 200);
+        let q50 = h.quantile(0.5);
+        assert!((2..=3).contains(&q50), "median stays in the [2,4) bucket, got {q50}");
+        // Monotone in q.
+        let qs: Vec<u64> = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod series;
 
 pub use diff::{diff, DiffLine, DiffOptions, DiffReport};
 pub use dump::{HistDump, SeriesDump, StatsDump, SCHEMA_VERSION};
-pub use hist::Log2Histogram;
+pub use hist::{interpolated_quantile, Log2Histogram};
 pub use registry::{
     add, disable, enable, hist, hist_record, is_enabled, next_instance, push, restore_registry,
     save_registry, series, set, set_meta, should_sample, snapshot, counter, CounterId, HistId,

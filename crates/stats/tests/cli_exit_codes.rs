@@ -13,6 +13,14 @@ fn run(args: &[&str]) -> i32 {
         .expect("exit code")
 }
 
+fn run_stdout(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_glocks-stats"))
+        .args(args)
+        .output()
+        .expect("spawn glocks-stats");
+    (out.status.code().expect("exit code"), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
 fn write_dump(dir: &std::path::Path, name: &str, body: &str) -> String {
     let path = dir.join(name);
     std::fs::write(&path, body).unwrap();
@@ -60,6 +68,39 @@ fn exit_codes_distinguish_failure_classes() {
     assert_eq!(run(&["show", &garbage]), 4);
     assert_eq!(run(&["show", &future]), 4);
     assert_eq!(run(&["diff", &future, &ok]), 4);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quantiles_subcommand_reports_interpolated_tails() {
+    let dir = std::env::temp_dir().join(format!("glocks_stats_q_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // 4 samples all inside the [8,16) bucket: the interpolated p50 is 12,
+    // not the bucket edge (see Log2Histogram::quantile unit tests).
+    let dump = write_dump(
+        &dir,
+        "svc.json",
+        r#"{"schema_version":1,"meta":{},"counters":{},"hists":{"service.total_latency_cycles":{"count":4,"sum":45,"min":8,"max":15,"buckets":[[4,4]]}},"series":{}}"#,
+    );
+
+    let (code, out) = run_stdout(&["quantiles", &dump]);
+    assert_eq!(code, 0);
+    assert!(out.contains("service.total_latency_cycles"), "{out}");
+
+    let (code, out) = run_stdout(&["quantiles", &dump, "service.total_latency_cycles"]);
+    assert_eq!(code, 0);
+    let row = out.lines().nth(1).expect("header + one row");
+    let cols: Vec<&str> = row.split_whitespace().collect();
+    // histogram, count, mean, p50, p90, p99, p999
+    assert_eq!(cols[1], "4");
+    assert_eq!(cols[3], "12", "within-bucket interpolated p50: {out}");
+    assert_eq!(cols[6], "15", "p999 clamps to the observed max: {out}");
+
+    // Wrong histogram name is a usage error, missing file stays exit 3.
+    assert_eq!(run(&["quantiles", &dump, "no.such.hist"]), 2);
+    let missing = dir.join("gone.json");
+    assert_eq!(run(&["quantiles", missing.to_str().unwrap()]), 3);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
