@@ -178,6 +178,28 @@ impl GBarrierNetwork {
             && self.leaf_sent.iter().all(|&s| !s)
     }
 
+    /// The earliest cycle ≥ `now` at which ticking this network could do
+    /// anything, or `None` if it is inert until a core raises `arrive`.
+    ///
+    /// The barrier automaton has no timers, so the only wake sources are
+    /// in-flight signals, an unsignalled fresh arrival, and a completed
+    /// sub-barrier not yet forwarded — all of which demand a dense tick
+    /// right away. A partially-collected barrier waiting on stragglers is
+    /// inert: nothing happens until another core arrives.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.wires.is_idle() {
+            return Some(now);
+        }
+        if (0..self.leaf_sent.len()).any(|c| !self.leaf_sent[c] && self.regs.raised(c)) {
+            return Some(now);
+        }
+        if (0..self.counts.len()).any(|a| self.counts[a] == self.expected[a] && !self.forwarded[a])
+        {
+            return Some(now);
+        }
+        None
+    }
+
     /// Serialize the dynamic barrier state (tree shape and `expected`
     /// counts are structure; `buf` is per-tick scratch).
     pub fn save_state(&self, w: &mut SnapWriter) {

@@ -306,6 +306,90 @@ impl Core {
         Ok(())
     }
 
+    /// The earliest future cycle at which ticking this core could do
+    /// anything observable, given the state it is in *after* the tick of
+    /// cycle `now`, or `None` if it is quiescent forever.
+    ///
+    /// This is the core's half of the idle-skip contract: for every cycle
+    /// `c` in `now+1 .. next_event(now)`, `tick(c)` would only re-charge
+    /// the same breakdown category (replicated exactly by
+    /// [`Core::skip_ahead`]) and, for `Computing`, decrement the counter —
+    /// it pulls no step, touches no backend, and submits nothing to the
+    /// memory system. States whose wake depends on another component
+    /// (`Ready`, `WaitingMem`) report `Some(now)`, i.e. "hot, tick me
+    /// densely".
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if matches!(self.state, State::Finished) {
+            return None;
+        }
+        if self.is_halted_at(now) {
+            // A dead tile never acts again; it is quiescent even if it
+            // still "had work".
+            return None;
+        }
+        let fence = |t: Cycle| Some(self.halt_at.map_or(t, |h| t.min(h)));
+        match self.state {
+            // A declared register-poll spin (`bnz lock_req, loop`) is
+            // inert: each cycle retires exactly one poll instruction until
+            // a device — whose own `next_event` the runner consults —
+            // flips the register. A scheduled tile death still fences the
+            // poll charges, so it stays observable.
+            State::Ready if self.sub.as_ref().is_some_and(|s| s.script.idle_spin()) => {
+                self.halt_at
+            }
+            // Otherwise a pull could run scripts / submit memory ops —
+            // unpredictable from here.
+            State::Ready | State::WaitingMem => Some(now),
+            // Wakes exactly when the countdown hits zero (or the tile
+            // fault freezes it first — the fence keeps the halt cycle
+            // observable for the watchdog).
+            State::Computing(left) => fence(now + left),
+            State::WaitingUntil(t) => fence(t),
+            State::Finished => unreachable!("handled above"),
+        }
+    }
+
+    /// Replicate `k` dense [`Core::tick`] calls for cycles
+    /// `now .. now + k`, valid only when the runner proved (via
+    /// [`Core::next_event`] on the previous cycle) that none of those ticks
+    /// would pull a step. Charges the same category each skipped cycle and
+    /// advances a `Computing` countdown; everything else is untouched.
+    pub fn skip_ahead(&mut self, now: Cycle, k: u64) {
+        if matches!(self.state, State::Finished) || self.is_halted_at(now) {
+            return;
+        }
+        if matches!(self.state, State::Ready) {
+            // Only reachable for a declared register-poll spin (see
+            // `next_event`): each skipped cycle retires exactly the one
+            // poll instruction and charges the same category the dense
+            // loop would have.
+            debug_assert!(
+                self.sub.as_ref().is_some_and(|s| s.script.idle_spin()),
+                "core {}: skipped while hot",
+                self.id
+            );
+            self.breakdown.instructions += k;
+            self.breakdown.charge(self.category(), k);
+            return;
+        }
+        debug_assert!(
+            !matches!(self.state, State::WaitingMem),
+            "core {}: skipped while hot",
+            self.id
+        );
+        if let State::WaitingUntil(t) = self.state {
+            debug_assert!(now + k <= t, "core {}: skipped past its wake cycle", self.id);
+        }
+        self.breakdown.charge(self.category(), k);
+        if let State::Computing(ref mut left) = self.state {
+            debug_assert!(*left >= k, "core {}: skipped past compute end", self.id);
+            *left -= k;
+            if *left == 0 {
+                self.state = State::Ready;
+            }
+        }
+    }
+
     /// Advance this core by one cycle.
     pub fn tick(
         &mut self,

@@ -54,6 +54,20 @@ pub enum Step {
 pub trait Script {
     fn resume(&mut self, last: u64) -> Step;
 
+    /// Whether this script is currently an *inert register-poll spin*:
+    /// until some device flips the register it polls, every `resume` will
+    /// return `Step::Compute(1)` (one `bnz reg, loop` iteration) and leave
+    /// the script in the same position. Declaring it lets the event-driven
+    /// runner replicate those poll cycles in bulk instead of executing
+    /// them one by one; the polled device's own `next_event` is what
+    /// bounds the jump, so a script may only return `true` while the
+    /// register flip it waits for is produced by a component the runner
+    /// polls for wakes. The default (`false`) keeps a script hot, which is
+    /// always safe.
+    fn idle_spin(&self) -> bool {
+        false
+    }
+
     /// Serialize this script's resumable position for a checkpoint. The
     /// default refuses: a backend that wants checkpointing must implement
     /// it on every script it manufactures — silently saving nothing would

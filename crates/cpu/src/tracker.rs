@@ -143,6 +143,20 @@ impl LockTracker {
         }
     }
 
+    /// Record `k` consecutive cycles' worth of grAC samples at once.
+    /// Equivalent to calling [`LockTracker::sample`] `k` times, valid
+    /// whenever the requester sets are known not to change across those
+    /// cycles (the idle-skip fast-forward: requester sets only mutate from
+    /// core pulls, and no core pulls during a skip).
+    pub fn sample_n(&mut self, k: u64) {
+        for l in &mut self.locks {
+            let n = l.requesters.len();
+            if n > 0 {
+                l.grac.record(n.min(self.max_grac), k);
+            }
+        }
+    }
+
     /// The grAC histogram of one lock (bin g = cycles with g requesters).
     pub fn grac_histogram(&self, lock: LockId) -> &Histogram {
         &self.locks[lock.index()].grac

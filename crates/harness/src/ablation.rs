@@ -18,13 +18,14 @@ use glocks_workloads::{BenchConfig, BenchKind};
 
 /// One ablation cell. A wedged run is logged and comes back as `None`, so
 /// the rest of the sweep still renders.
-fn run_once(cfg: &CmpConfig, bench: &BenchConfig, mapping: &LockMapping, opts: SimulationOptions) -> Option<u64> {
+fn run_once(cfg: &CmpConfig, bench: &BenchConfig, mapping: &LockMapping, mut opts: SimulationOptions) -> Option<u64> {
     let inst = bench.build();
+    let cfg = crate::exp::apply_machine_overrides(bench.threads, *cfg, &mut opts);
     let session = crate::exp::open_stats_session(
         &format!("{}_{}_{}t", bench.kind.name(), mapping.label(), bench.threads),
         &[("bench", bench.kind.name()), ("lock", mapping.label())],
     );
-    let sim = Simulation::new(cfg, mapping, inst.workloads, &inst.init, opts);
+    let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, opts);
     match sim.run() {
         Ok((report, mem)) => {
             (inst.verify)(mem.store()).expect("ablation run must verify");
@@ -150,7 +151,9 @@ pub fn fairness_study(opts: &ExpOptions) -> TextTable {
             &format!("fairness_{}_{}t", algo.name(), bench.threads),
             &[("bench", bench.kind.name()), ("lock", algo.name())],
         );
-        let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, SimulationOptions::default());
+        let mut fair_opts = SimulationOptions::default();
+        let cfg = crate::exp::apply_machine_overrides(bench.threads, cfg, &mut fair_opts);
+        let sim = Simulation::new(&cfg, &mapping, inst.workloads, &inst.init, fair_opts);
         let (report, mem) = match sim.run() {
             Ok(ok) => ok,
             Err(e) => {
@@ -192,7 +195,9 @@ pub fn dynamic_sharing_study(opts: &ExpOptions) -> TextTable {
             &format!("sharing_{tag}_{}t", bench.threads),
             &[("bench", bench.kind.name()), ("lock", mapping.label())],
         );
-        let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, SimulationOptions::default());
+        let mut share_opts = SimulationOptions::default();
+        let cfg = crate::exp::apply_machine_overrides(bench.threads, cfg, &mut share_opts);
+        let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, share_opts);
         let (r, mem) = sim.run().expect("dynamic-sharing ablation wedged");
         (inst.verify)(mem.store()).expect("verify");
         if let Some(s) = session {
@@ -271,7 +276,8 @@ pub fn energy_sensitivity(opts: &ExpOptions) -> TextTable {
     for (name, model) in variants {
         let run = |algo: LockAlgorithm| {
             let inst = bench.build();
-            let opts_sim = SimulationOptions { energy_model: model, ..Default::default() };
+            let mut opts_sim = SimulationOptions { energy_model: model, ..Default::default() };
+            let cfg = crate::exp::apply_machine_overrides(bench.threads, cfg, &mut opts_sim);
             let mapping = LockMapping::uniform(algo, bench.n_locks());
             let session = crate::exp::open_stats_session(
                 &format!("energy_{name}_{}_{}t", algo.name(), bench.threads),

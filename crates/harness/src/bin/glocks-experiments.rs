@@ -8,9 +8,14 @@
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
 //!           | table1 | table2 | table3 | table4 | ablations | multiprog
-//!           | faults | chaos | service
+//!           | faults | chaos | service | scale
 //! --quick            reduced input sizes (seconds instead of minutes)
 //! --threads N        CMP size for the main experiments (default 32)
+//! --mesh WxH         explicit mesh floor plan for every run (W*H must
+//!                    equal each run's core count; default: near-square)
+//! --dense            disable the event-driven idle-skip scheduler and
+//!                    tick every cycle (A/B self-profiling; results are
+//!                    byte-identical either way)
 //! --watchdog-cycles N  override the no-forward-progress window for every
 //!                    run (cycles; 0 disables the watchdog)
 //! --csv DIR          additionally write each table as DIR/<experiment>.csv
@@ -42,7 +47,7 @@
 use glocks_harness::{
     ablation, chaos,
     exp::{self, ExpOptions},
-    faults, fig1, fig10, fig7, fig8, fig9, multiprog, service,
+    faults, fig1, fig10, fig7, fig8, fig9, multiprog, scale, service,
     sweep::{self, RunOutput, SweepConfig},
     table1, table2, table3, table4,
 };
@@ -62,6 +67,8 @@ struct Cli {
     chrome_trace: Option<String>,
     jobs: usize,
     watchdog: Option<u64>,
+    mesh: Option<glocks_sim_base::Mesh2D>,
+    dense: bool,
     journal: Option<PathBuf>,
     resume: bool,
     timeout_secs: Option<u64>,
@@ -91,9 +98,11 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
         exp::set_stats_dir(Some(dir));
         exp::set_stats_context(name);
     }
-    // Thread-local, so it must be applied here (inside the worker thread
-    // under `--jobs`), not once in main.
+    // Thread-local, so these must be applied here (inside the worker
+    // thread under `--jobs`), not once in main.
     exp::set_watchdog_cycles(cli.watchdog);
+    exp::set_mesh_override(cli.mesh);
+    exp::set_idle_skip(if cli.dense { Some(false) } else { None });
     if cli.chrome_trace.is_some() {
         trace::enable(TraceMask::ALL, TRACE_CAP);
     }
@@ -194,6 +203,11 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
             writeln!(out, "{}", t.render()).unwrap();
             write_csv(csv_dir, "multiprog", &t);
         }
+        "scale" => {
+            let (t, _rows) = scale::run(opts);
+            writeln!(out, "{}", t.render()).unwrap();
+            write_csv(csv_dir, "scale", &t);
+        }
         "ablations" => {
             writeln!(out, "{}", ablation::algorithm_sweep(opts).render()).unwrap();
             writeln!(out, "{}", ablation::gline_latency_sweep(opts).render()).unwrap();
@@ -231,6 +245,8 @@ fn main() {
         chrome_trace: None,
         jobs: 1,
         watchdog: None,
+        mesh: None,
+        dense: false,
         journal: None,
         resume: false,
         timeout_secs: None,
@@ -281,6 +297,12 @@ fn main() {
                         .expect("--watchdog-cycles needs a number of cycles"),
                 );
             }
+            "--mesh" => {
+                i += 1;
+                let v = args.get(i).expect("--mesh needs a WxH shape");
+                cli.mesh = Some(exp::parse_mesh(v).unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--dense" => cli.dense = true,
             "--journal" => {
                 i += 1;
                 cli.journal = Some(PathBuf::from(args.get(i).expect("--journal needs a file")));
@@ -320,7 +342,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|service|stats]... [--quick] [--threads N] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|service|scale|stats]... [--quick] [--threads N] [--mesh WxH] [--dense] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
                 );
                 return;
             }

@@ -2,8 +2,8 @@
 //! crash-safe resume.
 //!
 //! ```text
-//! glocks-run --bench SCTR --lock GLock [--threads N] [--quick]
-//!            [--out DIR] [--checkpoint-every N] [--snapshot FILE]
+//! glocks-run --bench SCTR --lock GLock [--threads N] [--mesh WxH]
+//!            [--quick] [--out DIR] [--checkpoint-every N] [--snapshot FILE]
 //!            [--resume] [--watchdog-cycles N] [--timeout-secs N]
 //!            [--die-after-checkpoints N]
 //!
@@ -11,6 +11,8 @@
 //! --lock NAME            Simple|TATAS|TATAS-BO|Ticket|Anderson|MCS|Ideal
 //!                        |GLock|MP-Lock|SB|DynGLock|Reactive
 //! --threads N            core count (default 32)
+//! --mesh WxH             explicit mesh floor plan (e.g. 32x32); W*H must
+//!                        equal the core count (default: near-square)
 //! --quick                reduced input size (CI scale)
 //! --out DIR              artifact directory (default runs/)
 //! --checkpoint-every N   auto-checkpoint every N cycles (0 = off);
@@ -22,6 +24,8 @@
 //!                        instead of starting at cycle 0
 //! --watchdog-cycles N    no-forward-progress window override
 //! --timeout-secs N       wall-clock budget (SimError::WallClockExceeded)
+//! --dense                tick every cycle instead of the event-driven
+//!                        idle-skip scheduler (byte-identical results)
 //! --die-after-checkpoints N   self-test hook: exit(42) right after the
 //!                        Nth checkpoint hits disk, simulating a crash
 //!
@@ -32,10 +36,11 @@
 //! 2 = transient wedge (checkpoint kept for resume), 42 = injected crash.
 //! ```
 
+use glocks_harness::exp::parse_mesh;
 use glocks_harness::journal::{Journal, JournalRow, RunError, RunStatus};
 use glocks_locks::LockAlgorithm;
 use glocks_sim::{LockMapping, SimError, Simulation, SimulationOptions, Snapshot};
-use glocks_sim_base::CmpConfig;
+use glocks_sim_base::{CmpConfig, Mesh2D};
 use glocks_workloads::{BenchConfig, BenchKind};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -66,6 +71,7 @@ struct Cli {
     bench: BenchKind,
     lock: LockAlgorithm,
     threads: usize,
+    mesh: Option<Mesh2D>,
     quick: bool,
     out: PathBuf,
     checkpoint_every: u64,
@@ -74,13 +80,14 @@ struct Cli {
     watchdog: Option<u64>,
     timeout_secs: Option<u64>,
     die_after: Option<u64>,
+    dense: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: glocks-run --bench NAME --lock NAME [--threads N] [--quick] [--out DIR] \
-         [--checkpoint-every N] [--snapshot FILE] [--resume] [--watchdog-cycles N] \
-         [--timeout-secs N] [--die-after-checkpoints N]"
+        "usage: glocks-run --bench NAME --lock NAME [--threads N] [--mesh WxH] [--quick] \
+         [--out DIR] [--checkpoint-every N] [--snapshot FILE] [--resume] [--watchdog-cycles N] \
+         [--timeout-secs N] [--die-after-checkpoints N] [--dense]"
     );
     std::process::exit(2)
 }
@@ -93,6 +100,7 @@ fn parse_cli() -> Cli {
         bench: BenchKind::Sctr,
         lock: LockAlgorithm::Glock,
         threads: 32,
+        mesh: None,
         quick: false,
         out: PathBuf::from("runs"),
         checkpoint_every: 0,
@@ -101,6 +109,7 @@ fn parse_cli() -> Cli {
         watchdog: None,
         timeout_secs: None,
         die_after: None,
+        dense: false,
     };
     let mut i = 0;
     let need = |args: &[String], i: usize, flag: &str| -> String {
@@ -128,6 +137,14 @@ fn parse_cli() -> Cli {
                 i += 1;
                 cli.threads = need(&args, i, "--threads").parse().unwrap_or_else(|_| usage());
             }
+            "--mesh" => {
+                i += 1;
+                let v = need(&args, i, "--mesh");
+                cli.mesh = Some(parse_mesh(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
+            }
             "--quick" => cli.quick = true,
             "--out" => {
                 i += 1;
@@ -143,6 +160,7 @@ fn parse_cli() -> Cli {
                 cli.snapshot = Some(PathBuf::from(need(&args, i, "--snapshot")));
             }
             "--resume" => cli.resume = true,
+            "--dense" => cli.dense = true,
             "--watchdog-cycles" => {
                 i += 1;
                 cli.watchdog =
@@ -231,12 +249,26 @@ fn main() {
         BenchConfig::paper(cli.bench, cli.threads)
     };
     let mapping = LockMapping::hybrid(&bench.hc_locks(), cli.lock, bench.n_locks());
-    let cfg = CmpConfig::paper_baseline().with_cores(cli.threads);
+    let mut cfg = CmpConfig::paper_baseline().with_cores(cli.threads);
+    if let Some(m) = cli.mesh {
+        if m.len() != cli.threads {
+            eprintln!(
+                "--mesh {}x{} holds {} tiles but --threads is {}",
+                m.cols(),
+                m.rows(),
+                m.len(),
+                cli.threads
+            );
+            usage();
+        }
+        cfg = cfg.with_mesh(m);
+    }
     let mut options = SimulationOptions::default();
     if let Some(w) = cli.watchdog {
         options.watchdog_cycles = w;
     }
     options.wall_clock_limit_ms = cli.timeout_secs.map(|s| s.saturating_mul(1000));
+    options.idle_skip = !cli.dense;
     let inst = bench.build();
 
     let resumed_from = if cli.resume && ckpt_path.exists() {

@@ -97,6 +97,7 @@ fn row(
         sim_opts.watchdog_cycles = 100_000;
     }
     sim_opts.watchdog_cycles = effective_watchdog(&sim_opts);
+    let cfg = crate::exp::apply_machine_overrides(bench.threads, cfg, &mut sim_opts);
     // Before `Simulation::new`: components register their histograms in
     // their constructors, so the session must already be open.
     let session = crate::exp::open_stats_session(

@@ -2,7 +2,7 @@
 
 use glocks_locks::LockAlgorithm;
 use glocks_sim::{LockMapping, SimError, SimReport, Simulation, SimulationOptions};
-use glocks_sim_base::CmpConfig;
+use glocks_sim_base::{CmpConfig, Mesh2D};
 use glocks_workloads::{BenchConfig, BenchKind};
 use std::cell::{Cell, RefCell};
 
@@ -19,6 +19,13 @@ thread_local! {
     /// Per-run wall-clock budget (milliseconds) applied to every
     /// simulation started on this thread (`None` = unlimited).
     static WALL_LIMIT: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Explicit mesh floor plan for subsequent runs on this thread — the
+    /// `--mesh WxH` harness flag (`None` = near-square factorization).
+    static MESH: Cell<Option<Mesh2D>> = const { Cell::new(None) };
+    /// Idle-skip override for subsequent runs on this thread — the
+    /// `--dense` harness flag sets `Some(false)` (`None` = each driver's
+    /// options stand, i.e. the event-driven scheduler is on by default).
+    static IDLE_SKIP: Cell<Option<bool>> = const { Cell::new(None) };
     /// Structured `SimError`s observed by runs on this thread since the
     /// last [`drain_sim_errors`] — the sweep engine's failure channel,
     /// reaching past drivers that tolerate individual dead configurations.
@@ -61,6 +68,65 @@ pub fn effective_watchdog(options: &SimulationOptions) -> u64 {
 /// time out independently.
 pub fn set_wall_clock_limit_ms(ms: Option<u64>) {
     WALL_LIMIT.with(|w| w.set(ms));
+}
+
+/// Pin the mesh floor plan for every subsequent run on *this* thread — the
+/// `--mesh WxH` harness flag. The shape must hold exactly as many tiles as
+/// the run has threads; [`run_bench_with`] panics on a mismatch rather than
+/// silently simulating a different machine than the one asked for. `None`
+/// restores the near-square default. Thread-local like [`set_stats_dir`].
+pub fn set_mesh_override(mesh: Option<Mesh2D>) {
+    MESH.with(|m| m.set(mesh));
+}
+
+/// Force the cycle loop dense (`Some(false)`) or event-driven
+/// (`Some(true)`) for every subsequent run on *this* thread — the `--dense`
+/// harness flag. Both modes march through identical machine states (the
+/// idle-skip determinism contract); the knob exists for A/B self-profiling
+/// and for paranoia reruns. `None` restores each driver's own options.
+pub fn set_idle_skip(mode: Option<bool>) {
+    IDLE_SKIP.with(|s| s.set(mode));
+}
+
+/// Apply this thread's `--mesh` / `--dense` overrides to a run that is
+/// about to start: shapes `cfg`'s floor plan (validated against `threads`)
+/// and pins the cycle-loop mode. [`run_bench_with`] calls this for the
+/// standard benches; drivers that build their own [`Simulation`] call it
+/// too, so the CLI knobs reach every experiment — service sweeps, fault
+/// campaigns, ablations — not just the classic lock benches.
+pub fn apply_machine_overrides(
+    threads: usize,
+    mut cfg: CmpConfig,
+    options: &mut SimulationOptions,
+) -> CmpConfig {
+    if let Some(skip) = IDLE_SKIP.with(|s| s.get()) {
+        options.idle_skip = skip;
+    }
+    if let Some(m) = MESH.with(|m| m.get()) {
+        assert!(
+            m.len() == threads,
+            "--mesh {}x{} holds {} tiles but the workload runs {} threads",
+            m.cols(),
+            m.rows(),
+            m.len(),
+            threads
+        );
+        cfg = cfg.with_mesh(m);
+    }
+    cfg
+}
+
+/// Parse a `--mesh` argument of the form `WxH` (e.g. `32x32`) into a mesh.
+pub fn parse_mesh(s: &str) -> Result<Mesh2D, String> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("mesh '{s}' is not of the form WxH (e.g. 32x32)"))?;
+    let w: u16 = w.trim().parse().map_err(|_| format!("mesh width '{w}' is not a number"))?;
+    let h: u16 = h.trim().parse().map_err(|_| format!("mesh height '{h}' is not a number"))?;
+    if w == 0 || h == 0 {
+        return Err(format!("mesh '{s}' must be non-empty"));
+    }
+    Ok(Mesh2D::new(w, h))
 }
 
 /// Record a structured error for the sweep engine (done automatically by
@@ -208,7 +274,11 @@ pub fn run_bench_with(
         ],
     );
     let inst = bench.build();
-    let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
+    let cfg = apply_machine_overrides(
+        bench.threads,
+        CmpConfig::paper_baseline().with_cores(bench.threads),
+        &mut options,
+    );
     let sim = Simulation::new(&cfg, mapping, inst.workloads, &inst.init, options);
     let (report, mem) = match sim.run() {
         Ok(x) => x,
@@ -304,6 +374,36 @@ mod tests {
         assert_eq!(effective_watchdog(&opts), 123);
         set_watchdog_cycles(None);
         assert_eq!(effective_watchdog(&opts), default);
+    }
+
+    #[test]
+    fn mesh_flag_parses_and_rejects_garbage() {
+        assert_eq!(parse_mesh("32x32").unwrap(), Mesh2D::new(32, 32));
+        assert_eq!(parse_mesh("8X4").unwrap(), Mesh2D::new(8, 4));
+        assert!(parse_mesh("32").is_err());
+        assert!(parse_mesh("0x4").is_err());
+        assert!(parse_mesh("ax4").is_err());
+    }
+
+    #[test]
+    fn mesh_override_shapes_the_run() {
+        let opts = ExpOptions { quick: true, threads: 4 };
+        let bench = opts.bench(BenchKind::Sctr);
+        set_mesh_override(Some(Mesh2D::new(1, 4)));
+        let r = run_bench(&bench, &glock_mapping(&bench)).expect("fault-free run");
+        set_mesh_override(None);
+        assert!(r.report.cycles > 0);
+    }
+
+    // Each #[test] runs on its own thread, so the leaked thread-local
+    // override dies with it.
+    #[test]
+    #[should_panic(expected = "--mesh 4x4")]
+    fn mismatched_mesh_override_panics() {
+        let opts = ExpOptions { quick: true, threads: 8 };
+        let bench = opts.bench(BenchKind::Sctr);
+        set_mesh_override(Some(Mesh2D::new(4, 4)));
+        let _ = run_bench(&bench, &glock_mapping(&bench));
     }
 
     #[test]

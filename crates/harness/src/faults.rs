@@ -34,13 +34,14 @@ pub fn run(opts: &ExpOptions) -> TextTable {
         let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
         let mut plan = FaultPlan::seeded(SWEEP_SEED);
         plan.gline = FaultRates::drops(drop_ppm);
-        let sim_opts = SimulationOptions {
+        let mut sim_opts = SimulationOptions {
             fault_plan: Some(plan),
             // Short window: a dead configuration should fail fast, and a
             // live one always grants within a few thousand cycles.
             watchdog_cycles: 200_000,
             ..Default::default()
         };
+        let cfg = crate::exp::apply_machine_overrides(bench.threads, cfg, &mut sim_opts);
         // Before `Simulation::new`: components register their histograms
         // in their constructors, so the session must already be open.
         let session = crate::exp::open_stats_session(

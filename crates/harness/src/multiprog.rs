@@ -21,10 +21,11 @@ fn run(mp: &MultiprogConfig, hc_algo: LockAlgorithm) -> SimReport {
         mp.hc_locks()
     };
     let mapping = LockMapping::hybrid(&hc, hc_algo, mp.n_locks());
-    let opts = SimulationOptions {
+    let mut opts = SimulationOptions {
         barrier_partitions: Some(mp.barrier_partitions()),
         ..Default::default()
     };
+    let cfg = crate::exp::apply_machine_overrides(mp.total_threads(), cfg, &mut opts);
     let session = crate::exp::open_stats_session(
         &format!(
             "{}+{}_{}_{}t",

@@ -35,9 +35,12 @@ use glocks_stats::StatsDump;
 pub const SERVICE_SEED: u64 = 0x5E0C;
 
 /// The offered-load ladder: per-core mean inter-arrival gaps, heaviest
-/// last. With the default critical section the top rungs sit well past
-/// every software backend's capacity, so the knee is always visible.
-pub const GAPS: [u64; 6] = [4096, 2048, 1024, 512, 256, 128];
+/// last. The sparse rungs sit well below the lock's capacity — the
+/// hockey stick's flat region, where the machine is mostly idle between
+/// arrivals (and the event-driven scheduler skips the lulls) — while the
+/// dense rungs sit well past every software backend's capacity, so both
+/// the flat region and the knee are visible.
+pub const GAPS: [u64; 8] = [32768, 8192, 4096, 2048, 1024, 512, 256, 128];
 
 /// Backends the hockey-stick compares: the paper's hardware lock vs its
 /// strongest software baseline.
@@ -80,6 +83,7 @@ fn service_run(
     let mapping = LockMapping::uniform(algo, n_locks);
     let mut sim_opts = SimulationOptions { fault_plan: plan, ..Default::default() };
     sim_opts.watchdog_cycles = effective_watchdog(&sim_opts);
+    let cfg = crate::exp::apply_machine_overrides(threads, cfg, &mut sim_opts);
     // Before any `ServiceWorkload::new`: the workloads register their
     // histograms in their constructors, so the session must be open first.
     let session = crate::exp::open_stats_session(

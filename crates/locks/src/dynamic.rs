@@ -134,6 +134,17 @@ impl Script for DynAcquire {
         }
         self.inner.save_state(w)
     }
+
+    /// Spinning on a bound physical GLock's `lock_req` is inert while the
+    /// REQ is raised and that network is alive — grant and death verdict
+    /// both come from the network, whose `next_event` covers them.
+    fn idle_spin(&self) -> bool {
+        if let AcqPhase::GlockSpin(k) = self.phase {
+            self.pool.regs(k).req_pending(self.tid.index()) && !self.pool.is_dead(k)
+        } else {
+            false
+        }
+    }
 }
 
 fn decision_tag(w: &mut SnapWriter, d: PoolDecision) {

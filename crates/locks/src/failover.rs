@@ -162,6 +162,17 @@ impl Script for FoAcquire {
         });
         self.inner.save_state(w)
     }
+
+    /// The hardware-path busy-wait is inert while the REQ is still raised
+    /// *and* the network is alive: both the grant (register reset) and the
+    /// death verdict are produced by the GLock network, whose `next_event`
+    /// covers them. `DrainWait` and the software fallback stay hot — their
+    /// wake conditions involve other cores' software-path progress.
+    fn idle_spin(&self) -> bool {
+        matches!(self.phase, AcqPhase::Spin)
+            && self.regs.req_pending(self.core)
+            && !self.health.is_dead()
+    }
 }
 
 struct FoRelease {

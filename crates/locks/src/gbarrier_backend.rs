@@ -58,6 +58,13 @@ impl Script for GBarrierWait {
         });
         Ok(())
     }
+
+    /// Spinning on `barrier_arrive` is inert until the barrier network
+    /// (which watches the arrive registers and reports its own wakes)
+    /// releases this core's episode.
+    fn idle_spin(&self) -> bool {
+        matches!(self.phase, Phase::Spin) && self.regs.waiting(self.core)
+    }
 }
 
 impl BarrierBackend for GBarrierBackend {

@@ -67,6 +67,13 @@ impl Script for GlockAcquire {
         });
         Ok(())
     }
+
+    /// The busy-wait loop is inert while `lock_req` is still raised; the
+    /// local GLock controller (whose network reports its own wakes) is the
+    /// only agent that resets it.
+    fn idle_spin(&self) -> bool {
+        matches!(self.phase, AcqPhase::Spin) && self.regs.req_pending(self.core)
+    }
 }
 
 /// `GL_Unlock`: a single register write; the controller propagates REL.

@@ -232,6 +232,22 @@ impl MemorySystem {
             && self.mp_managers.iter().all(MpManager::is_quiescent)
     }
 
+    /// The earliest future cycle at which ticking the memory system could
+    /// change state, or `None` if it is quiescent with nothing scheduled.
+    ///
+    /// The memory hierarchy is event-dense while anything is in flight
+    /// (router arbitration, delayed deliveries and controller event queues
+    /// interact cycle by cycle), so a non-quiescent system reports
+    /// `Some(now)` — "hot, tick me densely". A quiescent system only ever
+    /// wakes for a scheduled permanent router fault: the kill mutates the
+    /// fabric (the router dies in place) even with no packet anywhere.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.is_quiescent() {
+            return Some(now);
+        }
+        self.net.next_scheduled_kill(now)
+    }
+
     /// Network traffic statistics (Figure 9's raw material).
     pub fn traffic(&self) -> &TrafficStats {
         self.net.stats()

@@ -392,6 +392,14 @@ impl<T> MeshNoc<T> {
         self.in_flight == 0
     }
 
+    /// The earliest cycle ≥ `now` at which a scheduled router kill fires,
+    /// if any are pending. An otherwise-idle fabric still mutates state on
+    /// that cycle (the router dies in place), so the idle-skip scheduler
+    /// must land on it densely.
+    pub fn next_scheduled_kill(&self, now: Cycle) -> Option<Cycle> {
+        self.scheduled_kills.iter().map(|&(at, _)| at.max(now)).min()
+    }
+
     /// Total number of packets sitting in router input queues (congestion
     /// diagnostics; excludes delivery buffers).
     pub fn queued_packets(&self) -> usize {

@@ -93,6 +93,12 @@ pub struct CmpConfig {
     pub mem_latency: u64,
     pub noc: NocConfig,
     pub glocks: GlockConfig,
+    /// Explicit mesh floor plan (`cols × rows` must equal `num_cores`).
+    /// `None` = the near-square factorization of `num_cores`. A first-class
+    /// sweep axis: 1024 cores as 32×32 exercises the hierarchical GLock
+    /// topology at its design point rather than whatever shape the
+    /// factorization happens to pick.
+    pub mesh_override: Option<Mesh2D>,
 }
 
 impl CmpConfig {
@@ -128,19 +134,32 @@ impl CmpConfig {
                 gline_latency: 1,
                 max_transmitters_per_line: 6,
             },
+            mesh_override: None,
         }
     }
 
     /// The baseline scaled to `n` cores (used by Table IV's 4/8/16/32-core
-    /// speedup study). Everything but the core count is unchanged.
+    /// speedup study). Everything but the core count is unchanged; an
+    /// explicit mesh override is dropped since it no longer fits.
     pub fn with_cores(mut self, n: usize) -> Self {
         self.num_cores = n;
+        self.mesh_override = None;
+        self
+    }
+
+    /// Pin the mesh floor plan to an explicit shape (and the core count to
+    /// match). `with_mesh(Mesh2D::new(32, 32))` is the paper's many-core
+    /// scaling end point: 1024 cores.
+    pub fn with_mesh(mut self, mesh: Mesh2D) -> Self {
+        self.num_cores = mesh.len();
+        self.mesh_override = Some(mesh);
         self
     }
 
     /// The mesh floor plan for this configuration.
     pub fn mesh(&self) -> Mesh2D {
-        Mesh2D::near_square(self.num_cores)
+        self.mesh_override
+            .unwrap_or_else(|| Mesh2D::near_square(self.num_cores))
     }
 
     /// Sanity-check internal consistency; panics with a description on
@@ -154,6 +173,16 @@ impl CmpConfig {
         assert!(self.noc.link_bytes > 0);
         assert!(self.noc.data_msg_bytes as u64 >= self.line_bytes);
         assert!(self.glocks.gline_latency >= 1);
+        if let Some(m) = self.mesh_override {
+            assert!(
+                m.len() == self.num_cores,
+                "mesh override {}x{} holds {} tiles but the config has {} cores",
+                m.cols(),
+                m.rows(),
+                m.len(),
+                self.num_cores
+            );
+        }
     }
 }
 
@@ -194,6 +223,30 @@ mod tests {
         assert_eq!(c.num_cores, 16);
         assert_eq!(c.l1, CmpConfig::paper_baseline().l1);
         assert_eq!(c.mesh(), Mesh2D::new(4, 4));
+    }
+
+    #[test]
+    fn mesh_override_pins_shape_and_core_count() {
+        let c = CmpConfig::paper_baseline().with_mesh(Mesh2D::new(32, 32));
+        c.validate();
+        assert_eq!(c.num_cores, 1024);
+        assert_eq!(c.mesh(), Mesh2D::new(32, 32));
+        // 64 cores as a tall mesh instead of the 8×8 factorization.
+        let c = CmpConfig::paper_baseline().with_mesh(Mesh2D::new(4, 16));
+        c.validate();
+        assert_eq!(c.mesh(), Mesh2D::new(4, 16));
+        // `with_cores` drops a stale override.
+        let c = c.with_cores(32);
+        c.validate();
+        assert_eq!(c.mesh(), Mesh2D::new(8, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh override")]
+    fn mismatched_mesh_override_is_rejected() {
+        let mut c = CmpConfig::paper_baseline();
+        c.mesh_override = Some(Mesh2D::new(8, 8));
+        c.validate();
     }
 
     #[test]

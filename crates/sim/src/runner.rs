@@ -128,11 +128,20 @@ pub struct SimulationOptions {
     /// Abort with [`SimError::WallClockExceeded`] if the run takes longer
     /// than this many host milliseconds (`None` = no budget). Checked every
     /// 4096 simulated cycles; the clock starts at construction, so a
-    /// resumed attempt gets a fresh budget. This is the one knob that is
-    /// host-dependent and therefore **excluded** from the configuration
-    /// fingerprint: raising the budget on retry must not orphan existing
-    /// checkpoints.
+    /// resumed attempt gets a fresh budget. Host-dependent and therefore
+    /// **excluded** from the configuration fingerprint: raising the budget
+    /// on retry must not orphan existing checkpoints.
     pub wall_clock_limit_ms: Option<u64>,
+    /// Event-driven idle skip: after each dense cycle, ask every component
+    /// for its next wake cycle and advance `now` directly to the earliest
+    /// one, replicating the provably-inert cycles in between (idle/compute
+    /// charging, grAC sampling) in O(1). The machine marches through
+    /// exactly the dense loop's state trajectory — checkpoints, stats
+    /// dumps, and error cycles are byte-identical — so this is a host
+    /// execution strategy like `wall_clock_limit_ms` and is likewise
+    /// **excluded** from the configuration fingerprint: snapshots
+    /// interoperate freely between dense and event-driven runs.
+    pub idle_skip: bool,
 }
 
 impl Default for SimulationOptions {
@@ -148,6 +157,7 @@ impl Default for SimulationOptions {
             watchdog_cycles: 2_000_000,
             checker: None,
             wall_clock_limit_ms: None,
+            idle_skip: true,
         }
     }
 }
@@ -158,8 +168,8 @@ impl Default for SimulationOptions {
 /// simulations with equal fingerprints built from the same workloads march
 /// through identical states, so a snapshot from one loads into the other.
 ///
-/// `wall_clock_limit_ms` is deliberately left out (host policy, not
-/// machine spec); the workloads cannot be digested here (they are opaque
+/// `wall_clock_limit_ms` and `idle_skip` are deliberately left out (host
+/// policy, not machine spec); the workloads cannot be digested here (they are opaque
 /// boxed programs) — the caller must supply the same ones, and the
 /// per-component section marks plus shape checks during the load catch
 /// most mismatches that slip through.
@@ -229,6 +239,16 @@ pub struct Simulation {
     fingerprint: u64,
     /// Start of this attempt's wall-clock budget.
     started: Instant,
+    /// Idle-skip throttle (host-side wall-clock heuristic, never
+    /// serialized): dense cycles to burn before the next fast-forward
+    /// attempt, and the exponentially-growing penalty a failed attempt
+    /// re-arms it with. Saturated phases thus pay the full component scan
+    /// only every few cycles, while a single successful skip resets the
+    /// throttle to "attempt every cycle". Skip decisions never change the
+    /// machine trajectory (the byte-identity contract), so when to *try*
+    /// is free policy.
+    skip_cooldown: u64,
+    skip_penalty: u64,
 }
 
 impl Simulation {
@@ -419,6 +439,8 @@ impl Simulation {
             progress_mark: (0, 0),
             fingerprint,
             started: Instant::now(),
+            skip_cooldown: 0,
+            skip_penalty: 0,
         }
     }
 
@@ -593,10 +615,137 @@ impl Simulation {
         Ok(false)
     }
 
+    /// One dense cycle plus, when `idle_skip` is enabled, an event-driven
+    /// fast-forward: advance `now` directly to the earliest cycle at which
+    /// any component can act, replicating the provably-inert cycles in
+    /// between. `checkpoint_cadence` (0 = none) keeps the skip from jumping
+    /// over a cycle boundary the caller wants to checkpoint at.
+    ///
+    /// The skipped span is never observable: every cycle a component
+    /// reported it could act on — and every cycle with a scheduled side
+    /// effect (invariant sweep, checker visit, stats sample, watchdog
+    /// deadline, checkpoint boundary, cycle limit) — is executed densely by
+    /// [`Simulation::step`], so the machine marches through exactly the
+    /// dense loop's state trajectory.
+    pub fn step_fast(&mut self, checkpoint_cadence: u64) -> Result<bool, SimError> {
+        let done = self.step()?;
+        if !done && self.options.idle_skip {
+            if self.skip_cooldown > 0 {
+                // A recent attempt found a hot component; don't pay the
+                // full scan again just yet. Pure wall-clock policy — the
+                // cycles in between run densely either way.
+                self.skip_cooldown -= 1;
+            } else if self.fast_forward(checkpoint_cadence)? {
+                self.skip_penalty = 0;
+            } else {
+                self.skip_penalty = (self.skip_penalty * 2).clamp(1, 32);
+                self.skip_cooldown = self.skip_penalty;
+            }
+        }
+        Ok(done)
+    }
+
+    /// The event-driven half of [`Simulation::step_fast`]: compute the
+    /// earliest pending wake over all components, clamp it to the nearest
+    /// scheduled side effect, and jump there — charging the cores'
+    /// activity breakdowns and the tracker's grAC samples for the skipped
+    /// cycles in one batch, exactly as the dense loop would have.
+    fn fast_forward(&mut self, checkpoint_cadence: u64) -> Result<bool, SimError> {
+        let now = self.now;
+        // Earliest component wake. `Some(t <= now)` means hot — tick
+        // densely, no skip. `None` means inert until some *other*
+        // component acts; if everything is inert only the scheduled side
+        // effects below bound the jump.
+        let mut wake: Option<Cycle> = None;
+        macro_rules! fold {
+            ($ev:expr) => {
+                match $ev {
+                    Some(t) if t <= now => return Ok(false),
+                    Some(t) => wake = Some(wake.map_or(t, |w: Cycle| w.min(t))),
+                    None => {}
+                }
+            };
+        }
+        for core in &self.cores {
+            fold!(core.next_event(now));
+        }
+        fold!(self.mem.next_event(now));
+        for net in &self.glock_nets {
+            fold!(net.next_event(now));
+        }
+        if let Some(b) = &self.gbarrier {
+            fold!(b.next_event(now));
+        }
+        // Scheduled side effects: cycles the dense loop does something on
+        // besides ticking components. Each must be *executed*, so the jump
+        // lands on (not past) the nearest one.
+        let mut target = wake.unwrap_or(Cycle::MAX);
+        if self.options.check_invariants_every > 0 {
+            target = target.min(now.next_multiple_of(self.options.check_invariants_every));
+        }
+        if let Some(ck) = &self.options.checker {
+            target = target.min(now.next_multiple_of(ck.every));
+        }
+        if let Some(sample_at) = glocks_stats::next_sample_cycle(now) {
+            // Typed-stats time series (e.g. per-router queue depths) are
+            // appended inside device ticks on sample cycles.
+            target = target.min(sample_at);
+        }
+        let all_sleeping = self
+            .cores
+            .iter()
+            .all(|c| c.is_finished() || c.sleeping_until(now).is_some());
+        if !all_sleeping && self.options.watchdog_cycles > 0 {
+            // Land densely on the watchdog's deadline so NoForwardProgress
+            // surfaces at the identical cycle it would under the dense
+            // loop. (When every unfinished core is deliberately asleep the
+            // dense loop re-arms the watchdog each cycle instead — that is
+            // replicated after the jump below.)
+            target = target.min(self.progress_mark.1 + self.options.watchdog_cycles);
+        }
+        // `step` raises MaxCyclesExceeded *after* executing the cycle that
+        // reaches the limit, so that cycle must run densely.
+        target = target.min(self.options.max_cycles.saturating_sub(1));
+        if checkpoint_cadence > 0 {
+            target = target.min(now.next_multiple_of(checkpoint_cadence));
+        }
+        if target <= now {
+            return Ok(false);
+        }
+        let k = target - now;
+        // Replicate the `k` skipped cycles' observable effects in O(1):
+        // per-core activity charges (and compute countdowns), and one grAC
+        // sample per cycle. Nothing else mutates on an inert cycle — that
+        // is the quiescence contract each `next_event` implements.
+        for core in &mut self.cores {
+            core.skip_ahead(now, k);
+        }
+        self.tracker.sample_n(k);
+        if all_sleeping {
+            // The dense loop re-arms the watchdog on every all-sleeping
+            // cycle; the last skipped cycle is `target - 1`.
+            self.progress_mark.1 = target - 1;
+        }
+        self.now = target;
+        // The dense loop samples the wall clock every 4096 cycles; check
+        // once if the jump crossed any such boundary.
+        if let Some(limit_ms) = self.options.wall_clock_limit_ms {
+            if (target >> 12) > (now >> 12)
+                && self.started.elapsed().as_millis() as u64 >= limit_ms
+            {
+                return Err(SimError::WallClockExceeded {
+                    limit_ms,
+                    snapshot: self.snapshot(),
+                });
+            }
+        }
+        Ok(true)
+    }
+
     /// Run the parallel phase to completion and produce the report, or a
     /// structured error with a diagnostic snapshot if the run wedges.
     pub fn run(mut self) -> Result<(SimReport, MemorySystem), SimError> {
-        while !self.step()? {}
+        while !self.step_fast(0)? {}
         self.finish()
     }
 
@@ -612,7 +761,7 @@ impl Simulation {
         every: u64,
         sink: &mut dyn FnMut(Snapshot),
     ) -> Result<(SimReport, MemorySystem), SimError> {
-        while !self.step()? {
+        while !self.step_fast(every)? {
             if every > 0 && self.now.is_multiple_of(every) {
                 match self.checkpoint() {
                     Ok(snap) => sink(snap),
@@ -759,12 +908,25 @@ impl Simulation {
     pub fn finish(mut self) -> Result<(SimReport, MemorySystem), SimError> {
         let finish_at = self.now;
         // Drain in-flight writebacks so the traffic/energy totals settle.
+        // The G-line networks only tick while they report pending work, so
+        // the per-iteration cost is O(active components) — a long memory
+        // drain does not keep re-walking idle lock/barrier automata.
         const DRAIN_CAP: u64 = 1_000_000;
         let mut drain = 0;
         while !self.mem.is_quiescent() && drain < DRAIN_CAP {
             self.now += 1;
             drain += 1;
-            self.tick_devices();
+            self.mem.tick(self.now);
+            for net in &mut self.glock_nets {
+                if net.next_event(self.now).is_some_and(|t| t <= self.now) {
+                    net.tick(self.now);
+                }
+            }
+            if let Some(b) = self.gbarrier.as_mut() {
+                if b.next_event(self.now).is_some() {
+                    b.tick(self.now);
+                }
+            }
         }
         if !self.mem.is_quiescent() {
             return Err(SimError::DrainStalled { waited: drain, snapshot: self.snapshot() });

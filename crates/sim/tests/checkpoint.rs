@@ -223,6 +223,93 @@ fn periodic_checkpoints_do_not_perturb_the_run() {
     assert_eq!(json2, ref_json);
 }
 
+/// The event-driven scheduler must march through exactly the dense loop's
+/// state trajectory: same final dump bytes, same memory image — fault-free,
+/// under transient + hard faults with failover, and with the checker
+/// attached.
+#[test]
+fn dense_and_event_driven_runs_are_byte_identical() {
+    let scenarios = [
+        Scenario { algo: LockAlgorithm::Mcs, cores: 8, iters: 4, faults: false, checker: false },
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 12, faults: true, checker: false },
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 8, faults: true, checker: true },
+    ];
+    for s in scenarios {
+        let (skip_json, skip_counter) = baseline(s);
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let cfg = CmpConfig::paper_baseline().with_cores(s.cores);
+        let mapping = LockMapping::uniform(s.algo, 1);
+        let workloads = (0..s.cores)
+            .map(|_| Box::new(Counter { iters: s.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+            .collect();
+        let opts = SimulationOptions { idle_skip: false, ..options(s) };
+        let (dense_json, dense_counter) =
+            finish_with_stats(Simulation::new(&cfg, &mapping, workloads, &[], opts));
+        assert_eq!(dense_counter, skip_counter, "memory image diverged");
+        assert_eq!(dense_json, skip_json, "dense vs event-driven dumps differ");
+    }
+}
+
+/// `idle_skip` is a host execution strategy, not machine spec: a snapshot
+/// taken by a dense run loads into an event-driven machine (and vice
+/// versa) and finishes byte-identically — the two modes share fingerprints
+/// because they share trajectories.
+#[test]
+fn dense_snapshot_resumes_into_event_driven_machine_and_back() {
+    let s =
+        Scenario { algo: LockAlgorithm::Glock, cores: 8, iters: 12, faults: true, checker: false };
+    let (ref_json, ref_counter) = baseline(s);
+
+    let make = |idle_skip: bool| {
+        let cfg = CmpConfig::paper_baseline().with_cores(s.cores);
+        let mapping = LockMapping::uniform(s.algo, 1);
+        let workloads: Vec<Box<dyn Workload>> = (0..s.cores)
+            .map(|_| Box::new(Counter { iters: s.iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+            .collect();
+        (cfg, mapping, workloads, SimulationOptions { idle_skip, ..options(s) })
+    };
+
+    // Dense prefix (inside the failover window) → event-driven rest.
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let (cfg, mapping, workloads, opts) = make(false);
+    let mut sim = Simulation::new(&cfg, &mapping, workloads, &[], opts);
+    while sim.now() < 4_000 {
+        if sim.step().expect("healthy until checkpoint") {
+            break;
+        }
+    }
+    let snap = sim.checkpoint().expect("snapshot");
+    drop(sim);
+    glocks_stats::disable();
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let (cfg, mapping, workloads, opts) = make(true);
+    let resumed = Simulation::resume(&cfg, &mapping, workloads, &[], opts, &snap)
+        .expect("dense snapshot loads into an event-driven machine");
+    let (json, counter) = finish_with_stats(resumed);
+    assert_eq!(counter, ref_counter);
+    assert_eq!(json, ref_json, "dense → event-driven handoff diverged");
+
+    // Event-driven prefix → dense rest.
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let (cfg, mapping, workloads, opts) = make(true);
+    let mut sim = Simulation::new(&cfg, &mapping, workloads, &[], opts);
+    while sim.now() < 4_000 {
+        if sim.step_fast(0).expect("healthy until checkpoint") {
+            break;
+        }
+    }
+    let snap = sim.checkpoint().expect("snapshot");
+    drop(sim);
+    glocks_stats::disable();
+    glocks_stats::enable(glocks_stats::StatsConfig::default());
+    let (cfg, mapping, workloads, opts) = make(false);
+    let resumed = Simulation::resume(&cfg, &mapping, workloads, &[], opts, &snap)
+        .expect("event-driven snapshot loads into a dense machine");
+    let (json, counter) = finish_with_stats(resumed);
+    assert_eq!(counter, ref_counter);
+    assert_eq!(json, ref_json, "event-driven → dense handoff diverged");
+}
+
 #[test]
 fn mismatched_configuration_is_refused() {
     let s = Scenario { algo: LockAlgorithm::Mcs, cores: 4, iters: 2, faults: false, checker: false };
@@ -287,10 +374,31 @@ fn service_workloads(cores: usize) -> Vec<Box<dyn Workload>> {
 }
 
 fn build_service(algo: LockAlgorithm, cores: usize) -> Simulation {
+    build_service_with(algo, cores, true)
+}
+
+fn build_service_with(algo: LockAlgorithm, cores: usize, idle_skip: bool) -> Simulation {
     let cfg = CmpConfig::paper_baseline().with_cores(cores);
     let mapping = LockMapping::uniform(algo, 1);
-    let options = SimulationOptions { watchdog_cycles: 500_000, ..Default::default() };
+    let options =
+        SimulationOptions { watchdog_cycles: 500_000, idle_skip, ..Default::default() };
     Simulation::new(&cfg, &mapping, service_workloads(cores), &[(COUNTER, 0)], options)
+}
+
+/// The open-loop service machine is where the event-driven scheduler
+/// actually skips (long inter-arrival lulls with every core asleep), so it
+/// is the sharpest equivalence probe: dense and skipping runs must dump
+/// byte-identical stats, including the SLO tail histograms.
+#[test]
+fn dense_and_event_driven_service_runs_are_byte_identical() {
+    for algo in [LockAlgorithm::Mcs, LockAlgorithm::Glock] {
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let (skip_json, skip_counter) = run_service(build_service_with(algo, 6, true));
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let (dense_json, dense_counter) = run_service(build_service_with(algo, 6, false));
+        assert_eq!(dense_counter, skip_counter, "{algo:?}: memory image diverged");
+        assert_eq!(dense_json, skip_json, "{algo:?}: service dumps differ");
+    }
 }
 
 fn run_service(sim: Simulation) -> (String, u64) {

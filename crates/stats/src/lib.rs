@@ -39,8 +39,9 @@ pub use diff::{diff, DiffLine, DiffOptions, DiffReport};
 pub use dump::{HistDump, SeriesDump, StatsDump, SCHEMA_VERSION};
 pub use hist::{interpolated_quantile, Log2Histogram};
 pub use registry::{
-    add, disable, enable, hist, hist_record, is_enabled, next_instance, push, restore_registry,
-    save_registry, series, set, set_meta, should_sample, snapshot, counter, CounterId, HistId,
+    add, disable, enable, hist, hist_record, is_enabled, next_instance, next_sample_cycle, push,
+    restore_registry, save_registry, series, set, set_meta, should_sample, snapshot, counter,
+    CounterId, HistId,
     SeriesId, StatsConfig,
 };
 pub use selfprof::{BenchRecord, Stopwatch};

@@ -122,6 +122,21 @@ pub fn should_sample(now: u64) -> bool {
     })
 }
 
+/// The next cycle ≥ `now` at which [`should_sample`] will return true, or
+/// `None` when stats are off (no component ever samples then). The
+/// idle-skip scheduler uses this as a horizon cap so that every sampling
+/// cycle is executed densely and series gauges land on exactly the cycles
+/// a dense run would record.
+pub fn next_sample_cycle(now: u64) -> Option<u64> {
+    REG.with(|r| {
+        let r = r.borrow();
+        if !r.enabled {
+            return None;
+        }
+        Some(now.next_multiple_of(r.period))
+    })
+}
+
 /// Next per-run instance number for a component kind (used to derive
 /// stable hierarchical names when a component does not know its own
 /// index, e.g. `glock.{k}`). Deterministic given construction order.

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf regression gate over a harness BENCH_* self-profile.
+
+Reads the BENCH JSON emitted by `glocks-experiments ... --stats-json DIR`
+and checks it against a committed baseline (results/perf_baseline.json).
+Two independent gates, both of which must pass:
+
+  * ratio gate (machine-independent): the idle-heavy phase must run at
+    least `min_idle_over_busy` times faster than the saturated phase from
+    the *same* run.  With the event-driven scheduler alive the measured
+    ratio is ~36x; with idle-skip broken or disabled both phases tick
+    every cycle and the ratio collapses to ~1x.  Comparing two phases of
+    one run cancels out runner speed, so this gate cannot be fooled by a
+    fast machine.
+  * absolute floor: `total_cycles_per_sec` must clear a floor set far
+    below any healthy run (guards against pathological slowdowns the
+    ratio cannot see, e.g. a regression that slows *every* phase).
+
+With --append, the run's headline numbers are also appended as one JSON
+line to a trajectory file (JSONL), which CI uploads as an artifact so the
+fleet's perf history accumulates across runs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench", help="BENCH_*.json self-profile to check")
+    ap.add_argument("baseline", help="committed baseline (perf_baseline.json)")
+    ap.add_argument("--append", metavar="JSONL", help="trajectory file to append this run to")
+    ap.add_argument("--label", default="local", help="label recorded in the trajectory entry")
+    args = ap.parse_args()
+
+    with open(args.bench) as f:
+        bench = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    phases = {p["label"]: p["cycles_per_sec"] for p in bench["phases"]}
+    try:
+        idle = phases[base["idle_phase"]]
+        busy = phases[base["busy_phase"]]
+    except KeyError as missing:
+        print(f"perf gate: phase {missing} not in {args.bench}", file=sys.stderr)
+        print(f"  phases present: {sorted(phases)}", file=sys.stderr)
+        return 1
+
+    ratio = idle / busy if busy > 0 else float("inf")
+    total = bench["total_cycles_per_sec"]
+    print(f"total            {total:>12.0f} cycles/s (floor {base['min_total_cycles_per_sec']})")
+    print(f"idle-heavy phase {idle:>12.0f} cycles/s ({base['idle_phase']})")
+    print(f"saturated phase  {busy:>12.0f} cycles/s ({base['busy_phase']})")
+    print(f"idle/busy ratio  {ratio:>12.2f} (floor {base['min_idle_over_busy']})")
+
+    ok = True
+    if ratio < base["min_idle_over_busy"]:
+        print(
+            f"FAIL: idle/busy ratio {ratio:.2f} below {base['min_idle_over_busy']} — "
+            "idle-skip scheduling has regressed",
+            file=sys.stderr,
+        )
+        ok = False
+    if total < base["min_total_cycles_per_sec"]:
+        print(
+            f"FAIL: total {total:.0f} cycles/s below floor "
+            f"{base['min_total_cycles_per_sec']}",
+            file=sys.stderr,
+        )
+        ok = False
+
+    if args.append:
+        entry = {
+            "label": args.label,
+            "total_cycles_per_sec": round(total),
+            "idle_cycles_per_sec": round(idle),
+            "busy_cycles_per_sec": round(busy),
+            "idle_over_busy": round(ratio, 2),
+            "total_sim_cycles": bench["total_sim_cycles"],
+            "total_wall_s": round(bench["total_wall_s"], 3),
+            "gate": "pass" if ok else "fail",
+        }
+        with open(args.append, "a") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"appended trajectory entry to {args.append}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

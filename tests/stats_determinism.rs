@@ -42,6 +42,48 @@ fn identical_runs_dump_byte_identical_stats_json() {
     assert_eq!(a, b, "same seed + config must dump byte-identical JSON");
 }
 
+/// The event-driven idle-skip scheduler (the default) and the dense cycle
+/// loop must produce byte-identical dumps — which also means the one
+/// committed golden dump gates both execution modes; no golden fork.
+#[test]
+fn event_driven_and_dense_loops_dump_byte_identical_stats_json() {
+    let skip = dump_json(Default::default());
+    let dense = dump_json(SimulationOptions { idle_skip: false, ..Default::default() });
+    assert_eq!(skip, dense, "idle-skip changed an observable: dumps differ");
+}
+
+/// Same equivalence across the paper's workload families (barrier-phased
+/// apps, queue-structured producers/consumers) and lock algorithms with
+/// very different idle shapes (G-line wait vs spin-with-backoff).
+#[test]
+fn event_driven_and_dense_loops_agree_across_workloads() {
+    for (kind, algo) in [
+        (BenchKind::Mctr, LockAlgorithm::Glock),
+        (BenchKind::Prco, LockAlgorithm::Mcs),
+        (BenchKind::Qsort, LockAlgorithm::TatasBackoff),
+        (BenchKind::Ocean, LockAlgorithm::Glock),
+    ] {
+        let skip = sim_for(kind, algo, 8, Default::default());
+        let dense = sim_for(
+            kind,
+            algo,
+            8,
+            SimulationOptions { idle_skip: false, ..Default::default() },
+        );
+        assert_eq!(skip.cycles, dense.cycles, "{kind:?}/{algo:?}: cycle counts differ");
+        assert_eq!(skip.finished_at, dense.finished_at, "{kind:?}/{algo:?}");
+        assert_eq!(skip.acquires, dense.acquires, "{kind:?}/{algo:?}");
+        assert_eq!(skip.instructions(), dense.instructions(), "{kind:?}/{algo:?}");
+        assert_eq!(
+            skip.traffic.total_messages, dense.traffic.total_messages,
+            "{kind:?}/{algo:?}"
+        );
+        for (a, b) in skip.breakdowns.iter().zip(&dense.breakdowns) {
+            assert_eq!(a, b, "{kind:?}/{algo:?}: per-core activity breakdowns differ");
+        }
+    }
+}
+
 #[test]
 fn identical_runs_dump_byte_identical_stats_json_under_faults() {
     let opts = || {
