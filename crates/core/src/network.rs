@@ -18,41 +18,106 @@ use std::rc::Rc;
 /// giving up would be a false verdict).
 pub const DETECTION_ATTEMPTS: u32 = 5;
 
-/// Shared liveness handle of one GLock network. Flipped exactly once, when
-/// failure detection (exhausted retransmission budgets) escalates to a
+/// Trust state of one GLock network's hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HealthMode {
+    /// Fully operational and trusted by the lock backends.
+    Healthy,
+    /// Death verdict reached: quarantined, never delivers or grants.
+    Dead,
+    /// Physically repaired (rebooted to a clean image) but not yet trusted:
+    /// only the fail-back probes may exercise it until hysteresis clears it.
+    Untrusted,
+}
+
+/// Shared liveness handle of one GLock network. Set to `Dead` when failure
+/// detection (exhausted retransmission budgets) escalates to a
 /// `NetworkDead` verdict; the lock backends and the dynamic pool observe it
-/// to fail over to the software path.
-#[derive(Debug, Default)]
+/// to fail over to the software path. A scheduled repair moves it to
+/// `Untrusted`, and the fail-back state machine in the failover backend
+/// promotes it back to `Healthy` once its probe hysteresis is satisfied —
+/// so under intermittent faults the cycle can repeat.
+#[derive(Debug)]
 pub struct NetworkHealth {
-    dead: Cell<bool>,
+    mode: Cell<HealthMode>,
     dead_since: Cell<Cycle>,
+    /// Times this network's hardware was repaired (rebooted to the boot
+    /// image). Cumulative across flapping episodes.
+    repairs: Cell<u64>,
+}
+
+impl Default for NetworkHealth {
+    fn default() -> Self {
+        NetworkHealth {
+            mode: Cell::new(HealthMode::Healthy),
+            dead_since: Cell::new(0),
+            repairs: Cell::new(0),
+        }
+    }
 }
 
 impl NetworkHealth {
     pub fn is_dead(&self) -> bool {
-        self.dead.get()
+        self.mode.get() == HealthMode::Dead
     }
 
-    /// Cycle the death verdict was reached (not the physical fault cycle).
+    /// Fully trusted: the lock backends may route acquires through the
+    /// hardware path. False while dead *and* while repaired-but-untrusted.
+    pub fn is_trusted(&self) -> bool {
+        self.mode.get() == HealthMode::Healthy
+    }
+
+    /// Cycle the (latest) death verdict was reached (not the physical
+    /// fault cycle). `None` unless the network is currently dead.
     pub fn dead_since(&self) -> Option<Cycle> {
-        self.dead.get().then(|| self.dead_since.get())
+        self.is_dead().then(|| self.dead_since.get())
+    }
+
+    /// Times this network was repaired (hardware reboots survived).
+    pub fn repairs(&self) -> u64 {
+        self.repairs.get()
     }
 
     pub(crate) fn mark_dead(&self, now: Cycle) {
-        if !self.dead.get() {
-            self.dead.set(true);
+        if self.mode.get() != HealthMode::Dead {
+            self.mode.set(HealthMode::Dead);
             self.dead_since.set(now);
         }
     }
 
+    /// Repair: the hardware was rebooted to a clean image. Untrusted until
+    /// the fail-back probes promote it via [`Self::mark_trusted`].
+    pub(crate) fn mark_untrusted(&self) {
+        debug_assert_eq!(self.mode.get(), HealthMode::Dead, "only dead hardware is repaired");
+        self.mode.set(HealthMode::Untrusted);
+        self.repairs.set(self.repairs.get() + 1);
+    }
+
+    /// Fail-back commit: the probe hysteresis is satisfied; the hardware
+    /// path is trusted again. Called by the failover backend.
+    pub fn mark_trusted(&self) {
+        self.mode.set(HealthMode::Healthy);
+    }
+
     pub fn save_state(&self, w: &mut SnapWriter) {
-        w.bool(self.dead.get());
+        w.u8(match self.mode.get() {
+            HealthMode::Healthy => 0,
+            HealthMode::Dead => 1,
+            HealthMode::Untrusted => 2,
+        });
         w.u64(self.dead_since.get());
+        w.u64(self.repairs.get());
     }
 
     pub fn load_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        self.dead.set(r.bool()?);
+        self.mode.set(match r.u8()? {
+            0 => HealthMode::Healthy,
+            1 => HealthMode::Dead,
+            2 => HealthMode::Untrusted,
+            tag => return Err(SnapError::BadTag { what: "network health mode", tag: u64::from(tag) }),
+        });
         self.dead_since.set(r.u64()?);
+        self.repairs.set(r.u64()?);
         Ok(())
     }
 }
@@ -126,6 +191,13 @@ pub struct GlockNetwork {
     gap_hist: gstats::HistId,
     /// Pending hard faults, applied when their cycle comes up.
     scheduled_kills: Vec<(Cycle, Kill)>,
+    /// Pending repairs (intermittent faults). A repair becomes *claimable*
+    /// at its cycle but only installs once the dead network is drained.
+    scheduled_repairs: Vec<Cycle>,
+    /// The (policy, timers_armed) pair in force before `arm_detection`
+    /// first mutated them, restored when a repair reboots the hardware so
+    /// the replacement runs with the original (pre-fault) timer setup.
+    prearm: Option<(RetryPolicy, bool)>,
     /// Liveness flag shared with lock backends (failover trigger).
     health: Rc<NetworkHealth>,
 }
@@ -161,6 +233,8 @@ impl GlockNetwork {
             stats_idx,
             gap_hist: gstats::hist(&format!("glock.{stats_idx}.grant_gap_cycles")),
             scheduled_kills: Vec::new(),
+            scheduled_repairs: Vec::new(),
+            prearm: None,
             health: Rc::new(NetworkHealth::default()),
         }
     }
@@ -185,6 +259,11 @@ impl GlockNetwork {
     pub fn set_faults(&mut self, faults: FaultInjector) {
         self.wires.set_faults(faults);
         self.timers_armed = true;
+    }
+
+    /// Soft-fault totals from the wires' injector, if one is attached.
+    pub fn fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        self.wires.fault_stats()
     }
 
     /// The retry policy the controllers actually see this cycle.
@@ -218,16 +297,54 @@ impl GlockNetwork {
         self.scheduled_kills.push((at, Kill::Leaf(core)));
     }
 
+    /// Schedule a repair (intermittent fault): from cycle `at` on, the
+    /// replacement hardware is available. It installs at the first cycle
+    /// `>= at` at which the network is dead *and* drained (the frozen
+    /// holder's release has been written), rebooting every automaton, the
+    /// wires, and the register file to a clean image — after which the
+    /// network is repaired-but-untrusted until fail-back promotes it.
+    pub fn schedule_repair(&mut self, at: Cycle) {
+        self.scheduled_repairs.push(at);
+    }
+
     /// Arm the loss-recovery timers with a *bounded* retransmission budget
     /// so survivors escalate to a death verdict instead of retrying
     /// forever. Called when a scheduled hard fault fires — never before,
     /// so legitimately long waits under fault-free (or transient-fault)
     /// contention can never produce a false `NetworkDead`.
     fn arm_detection(&mut self) {
+        if self.prearm.is_none() {
+            self.prearm = Some((self.policy, self.timers_armed));
+        }
         self.timers_armed = true;
         if self.policy.max_attempts == 0 {
             self.policy.max_attempts = DETECTION_ATTEMPTS;
         }
+    }
+
+    /// Install the replacement hardware: reboot every automaton, the wires
+    /// and the register file to the boot image, restore the pre-detection
+    /// retry setup (a later kill re-arms it), and mark the network
+    /// repaired-but-untrusted. Only called on a dead, drained network, so
+    /// no core is inside a hardware critical section and every core-side
+    /// script has already observed the death and failed over — wiping
+    /// `lock_req` can never be mistaken for a grant.
+    fn repair(&mut self, now: Cycle) {
+        debug_assert!(self.regs.hw_drained());
+        for a in &mut self.arbs {
+            a.reset();
+        }
+        for l in &mut self.leaves {
+            l.reset();
+        }
+        self.wires.revive();
+        self.regs.reset();
+        if let Some((policy, armed)) = self.prearm.take() {
+            self.policy = policy;
+            self.timers_armed = armed;
+        }
+        self.health.mark_untrusted();
+        trace_event!(TraceMask::GLOCK, now, "glock: network repaired (untrusted)");
     }
 
     /// Advance the network one cycle: deliver due signals, then run every
@@ -254,6 +371,18 @@ impl GlockNetwork {
             }
             if fired {
                 self.arm_detection();
+            }
+        }
+        if self.health.is_dead() {
+            // A claimable repair installs as soon as the dead network is
+            // drained (the frozen holder — if any — has written its
+            // release, and every failed-over script has stopped trusting
+            // the registers).
+            if let Some(i) = self.scheduled_repairs.iter().position(|&at| now >= at) {
+                if self.regs.hw_drained() {
+                    self.scheduled_repairs.swap_remove(i);
+                    self.repair(now);
+                }
             }
         }
         if self.health.is_dead() {
@@ -358,6 +487,14 @@ impl GlockNetwork {
                 }
             }
         });
+        w.seq(&self.scheduled_repairs, |w, &at| w.u64(at));
+        w.bool(self.prearm.is_some());
+        if let Some((policy, armed)) = self.prearm {
+            w.u64(policy.base_timeout);
+            w.u32(policy.max_shift);
+            w.u32(policy.max_attempts);
+            w.bool(armed);
+        }
         self.health.save_state(w);
     }
 
@@ -395,6 +532,17 @@ impl GlockNetwork {
             };
             Ok((at, kill))
         })?;
+        self.scheduled_repairs = r.seq(|r| r.u64())?;
+        self.prearm = if r.bool()? {
+            let policy = RetryPolicy {
+                base_timeout: r.u64()?,
+                max_shift: r.u32()?,
+                max_attempts: r.u32()?,
+            };
+            Some((policy, r.bool()?))
+        } else {
+            None
+        };
         self.health.load_state(r)?;
         Ok(())
     }
@@ -434,9 +582,23 @@ impl GlockNetwork {
     /// network only ever wakes for scheduled kills, which still purge
     /// wires when they fire.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let fold = |a: Option<Cycle>, b: Option<Cycle>| match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
         let kills = self.scheduled_kills.iter().map(|&(at, _)| at.max(now)).min();
         if self.health.is_dead() {
-            return kills;
+            // A dead network additionally wakes for repairs: at the repair
+            // cycle itself, then densely while the claimable repair waits
+            // for the drain (the drain signal is a register write the
+            // network cannot predict).
+            let repairs = match self.scheduled_repairs.iter().map(|&at| at.max(now)).min() {
+                Some(at) if at > now => Some(at),
+                Some(_) => Some(now), // claimable: stay dense until drained
+                None => None,
+            };
+            return fold(kills, repairs);
         }
         if !self.wires.is_idle() {
             // Signal deliveries interleave with automaton responses cycle
@@ -445,11 +607,6 @@ impl GlockNetwork {
         }
         let policy = self.active_policy();
         let mut wake = kills;
-        let fold = |wake: Option<Cycle>, ev: Option<Cycle>| match (wake, ev) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        };
         for leaf in &self.leaves {
             wake = fold(wake, leaf.next_event(now, &policy, &self.regs));
             if wake == Some(now) {
@@ -990,6 +1147,106 @@ mod tests {
             assert!(now < 1_000_000, "death verdict never reached");
         }
         assert!(regs.req_pending(4), "the request is never granted");
+    }
+
+    #[test]
+    fn repaired_network_reboots_clean_and_round_trips() {
+        let mut n = net(3, 3);
+        let health = n.health();
+        acquire(&mut n, 0, 0);
+        let regs = n.regs();
+        regs.set_req(1); // stranded waiter, wiped by the reboot
+        n.schedule_line_kill(100);
+        n.schedule_repair(150); // claimable long before the death verdict
+        let mut now = 10;
+        while !health.is_dead() {
+            n.tick(now);
+            now += 1;
+            assert!(now < 1_000_000, "death verdict never reached");
+        }
+        // Dead but not drained: core 0's grant is frozen with its release
+        // unwritten, so the claimable repair must wait.
+        for _ in 0..500 {
+            n.tick(now);
+            now += 1;
+        }
+        assert!(health.is_dead(), "repair must wait for the drain");
+        assert_eq!(health.repairs(), 0);
+        // The failover layer drains the holder: the release write is the
+        // drain signal, and the repair installs on the very next tick.
+        regs.set_rel(0);
+        n.tick(now);
+        assert!(!health.is_dead());
+        assert!(!health.is_trusted(), "fresh repairs are untrusted");
+        assert_eq!(health.repairs(), 1);
+        assert_eq!(n.holder(), None);
+        assert!(!regs.req_pending(1), "stale requests wiped by the reboot");
+        assert!(!regs.rel_pending(0), "stale releases wiped by the reboot");
+        assert!(!n.is_compromised(), "rebooted hardware is whole again");
+
+        // The untrusted state round-trips through a snapshot.
+        let mut w = SnapWriter::new();
+        n.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut n2 = net(3, 3);
+        let mut r = SnapReader::new(&bytes);
+        n2.load_state(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(!n2.health().is_trusted());
+        assert_eq!(n2.health().repairs(), 1);
+        let mut w2 = SnapWriter::new();
+        n2.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "restored state must re-encode identically");
+
+        // The rebooted network grants again — a fail-back probe round-trip
+        // — and the restored pre-fault policy fires no new retransmissions
+        // (the dying network's retransmits survive as a cumulative
+        // diagnostic; the reboot must not add to them).
+        let retransmits_at_repair = n.stats().retransmits;
+        now += 1;
+        acquire(&mut n, 2, now);
+        assert_eq!(n.holder(), Some(CoreId(2)));
+        release(&mut n, 2, now + 100);
+        assert_eq!(n.stats().retransmits, retransmits_at_repair, "pre-fault timer setup restored");
+        health.mark_trusted();
+        assert!(health.is_trusted());
+        assert_eq!(health.repairs(), 1);
+    }
+
+    #[test]
+    fn redeath_after_repair_records_a_new_verdict() {
+        // Flapping: kill, repair, kill again — the second death verdict
+        // must land (mark_dead works from the untrusted state) with a
+        // fresh dead_since.
+        let mut n = net(2, 2);
+        let health = n.health();
+        let regs = n.regs();
+        // Kill while idle so no grant freezes: the net is drained at death.
+        n.schedule_line_kill(10);
+        for t in 0..20 {
+            n.tick(t);
+        }
+        regs.set_req(0); // first post-death request reaches the verdict
+        let mut now = 20;
+        while !health.is_dead() {
+            n.tick(now);
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        let first_death = health.dead_since().unwrap();
+        n.schedule_repair(first_death + 1);
+        n.tick(now); // drained (no holder): repair installs immediately
+        assert_eq!(health.repairs(), 1);
+        assert!(!health.is_dead());
+        n.schedule_line_kill(now + 10);
+        regs.set_req(1);
+        while !health.is_dead() {
+            n.tick(now);
+            now += 1;
+            assert!(now < 2_000_000, "second death verdict never reached");
+        }
+        let second_death = health.dead_since().unwrap();
+        assert!(second_death > first_death, "re-death records a fresh verdict cycle");
     }
 
     #[test]

@@ -122,6 +122,15 @@ impl GlockPool {
         self.healths.borrow().get(k).is_some_and(|h| h.is_dead())
     }
 
+    /// Whether physical lock `k`'s network is fully trusted. A
+    /// repaired-but-untrusted network is excluded from binding just like a
+    /// dead one: pool bindings carry no fail-back probe machinery, so an
+    /// untrusted pool network is simply never bound again (the per-lock
+    /// failover backends are the ones that earn trust back).
+    pub fn is_trusted(&self, k: usize) -> bool {
+        self.healths.borrow().get(k).is_none_or(|h| h.is_trusted())
+    }
+
     /// Count one mid-episode hardware→software failover.
     pub fn note_failover(&self) {
         self.state.borrow_mut().stats.failovers += 1;
@@ -152,10 +161,11 @@ impl GlockPool {
         } else {
             // Quiesced: (re)decide. Preference order among free physical
             // locks: one reserved for us, an unreserved one, then one
-            // whose reservation we out-heat. A dead network is permanently
-            // quarantined — never bound again.
+            // whose reservation we out-heat. A network that is not fully
+            // trusted (dead, or repaired but not yet failed back) is never
+            // bound.
             let candidate = (0..st.owner_of.len())
-                .filter(|&k| st.owner_of[k].is_none() && !self.is_dead(k))
+                .filter(|&k| st.owner_of[k].is_none() && self.is_trusted(k))
                 .min_by_key(|&k| match st.reserved_for[k] {
                     Some(owner) if owner == logical => 0u32,
                     None => 1,

@@ -103,6 +103,21 @@ impl GlockRegisters {
         self.lock_req[core].get()
     }
 
+    /// Repair: wipe the register file back to the boot image (no requests,
+    /// no releases, no holder). Only valid while the network is dead and
+    /// drained — every core-side script must already have observed the
+    /// death and failed over, or a cleared `lock_req` could be mistaken
+    /// for a grant.
+    pub(crate) fn reset(&self) {
+        for c in &self.lock_req {
+            c.set(false);
+        }
+        for c in &self.lock_rel {
+            c.set(false);
+        }
+        self.holder.set(None);
+    }
+
     pub fn save_state(&self, w: &mut SnapWriter) {
         w.usize(self.lock_req.len());
         for c in &self.lock_req {

@@ -86,6 +86,23 @@ impl Wires {
         self.dead_from.is_some()
     }
 
+    /// Repair: the dead metal is replaced. Leftover in-flight signals (sent
+    /// pre-death but never delivered) are scrapped with the old wires; the
+    /// cumulative `sent`/`dropped` energy counters survive, as does the
+    /// fault injector (its schedule is a pure function of the event index,
+    /// so replacement hardware on the same glitchy substrate keeps faulting).
+    pub fn revive(&mut self) {
+        let before = self.in_flight.len();
+        self.in_flight.clear();
+        self.dropped += before as u64;
+        self.dead_from = None;
+    }
+
+    /// Soft-fault totals from the injector, if one is attached.
+    pub fn fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
     /// Put a signal on a G-line at cycle `now`; it is visible to the
     /// receiver's automaton from cycle `now + latency` on — unless the
     /// fault schedule drops, delays or duplicates it.

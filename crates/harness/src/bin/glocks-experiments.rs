@@ -8,7 +8,7 @@
 //!
 //! EXPERIMENT: all | fig1 | fig7 | fig8 | fig9 | fig10
 //!           | table1 | table2 | table3 | table4 | ablations | multiprog
-//!           | faults | chaos | service | scale
+//!           | faults | chaos | service | scale | fuzz
 //! --quick            reduced input sizes (seconds instead of minutes)
 //! --threads N        CMP size for the main experiments (default 32)
 //! --mesh WxH         explicit mesh floor plan for every run (W*H must
@@ -42,12 +42,22 @@
 //! `--inject-panic NAME` / `--inject-wedge NAME` are self-test hooks (used
 //! by the CI kill-and-resume smoke) that make experiment NAME panic or
 //! exhaust a zero wall-clock budget.
+//!
+//! The `fuzz` experiment (never part of `all`) runs the seeded fault-plan
+//! fuzzer and takes its own flags:
+//!
+//! --seed N           campaign seed (default 0xFA57)
+//! --plans K          number of generated cases (default 16)
+//! --fuzz-out DIR     write minimized repro JSON files into DIR
+//! --replay FILE      re-run one repro file instead of a campaign
+//! --synthetic-bug    self-test hook: classify repair-bearing plans as
+//!                    failing so the shrink + repro pipeline is exercised
 //! ```
 
 use glocks_harness::{
     ablation, chaos,
     exp::{self, ExpOptions},
-    faults, fig1, fig10, fig7, fig8, fig9, multiprog, scale, service,
+    faults, fig1, fig10, fig7, fig8, fig9, fuzz, multiprog, scale, service,
     sweep::{self, RunOutput, SweepConfig},
     table1, table2, table3, table4,
 };
@@ -76,6 +86,11 @@ struct Cli {
     backoff_ms: u64,
     inject_panic: Option<String>,
     inject_wedge: Option<String>,
+    fuzz_seed: u64,
+    fuzz_plans: usize,
+    fuzz_out: Option<String>,
+    fuzz_replay: Option<String>,
+    synthetic_bug: bool,
 }
 
 fn write_csv(dir: &Option<String>, name: &str, table: &glocks_sim_base::table::TextTable) {
@@ -217,6 +232,43 @@ fn run_one(name: &str, cli: &Cli, traces: &Mutex<Vec<TraceRecord>>) -> String {
             writeln!(out, "{}", ablation::barrier_study(opts).render()).unwrap();
             writeln!(out, "{}", ablation::energy_sensitivity(opts).render()).unwrap();
         }
+        "fuzz" => {
+            if let Some(path) = &cli.fuzz_replay {
+                match fuzz::replay_file(path, cli.synthetic_bug) {
+                    Ok(None) => writeln!(out, "replay {path}: ok (no longer reproduces)").unwrap(),
+                    Ok(Some(f)) => {
+                        writeln!(out, "replay {path}: reproduced {} — {}", f.kind, f.detail)
+                            .unwrap();
+                        exp::record_run_error(&f.kind, &f.detail);
+                    }
+                    Err(e) => {
+                        writeln!(out, "replay {path}: {e}").unwrap();
+                        exp::record_run_error("replay-error", &e);
+                    }
+                }
+            } else {
+                let rep = fuzz::run(&fuzz::FuzzConfig {
+                    seed: cli.fuzz_seed,
+                    plans: cli.fuzz_plans,
+                    out_dir: cli.fuzz_out.clone(),
+                    synthetic_bug: cli.synthetic_bug,
+                });
+                writeln!(out, "{}", rep.table.render()).unwrap();
+                write_csv(csv_dir, "fuzz", &rep.table);
+                for f in &rep.failures {
+                    writeln!(
+                        out,
+                        "case {} failed ({}): {}\n  minimized repro: {}",
+                        f.case_index,
+                        f.kind,
+                        f.detail,
+                        f.path.as_deref().unwrap_or("(pass --fuzz-out DIR to write it)")
+                    )
+                    .unwrap();
+                    exp::record_run_error(&f.kind, &f.detail);
+                }
+            }
+        }
         other => eprintln!("unknown experiment: {other}"),
     }
     if let Some(dir) = &cli.stats_dir {
@@ -254,6 +306,11 @@ fn main() {
         backoff_ms: 250,
         inject_panic: None,
         inject_wedge: None,
+        fuzz_seed: 0xFA57,
+        fuzz_plans: 16,
+        fuzz_out: None,
+        fuzz_replay: None,
+        synthetic_bug: false,
     };
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -330,6 +387,36 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--backoff-ms needs a number of milliseconds");
             }
+            "--seed" => {
+                i += 1;
+                cli.fuzz_seed = args
+                    .get(i)
+                    .and_then(|s| {
+                        let s = s.trim();
+                        s.strip_prefix("0x")
+                            .or_else(|| s.strip_prefix("0X"))
+                            .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    })
+                    .expect("--seed needs a number (decimal or 0x hex)");
+            }
+            "--plans" => {
+                i += 1;
+                cli.fuzz_plans = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .expect("--plans needs a number >= 1");
+            }
+            "--fuzz-out" => {
+                i += 1;
+                cli.fuzz_out =
+                    Some(args.get(i).expect("--fuzz-out needs a directory").clone());
+            }
+            "--replay" => {
+                i += 1;
+                cli.fuzz_replay = Some(args.get(i).expect("--replay needs a file").clone());
+            }
+            "--synthetic-bug" => cli.synthetic_bug = true,
             "--inject-panic" => {
                 i += 1;
                 cli.inject_panic =
@@ -342,7 +429,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|service|scale|stats]... [--quick] [--threads N] [--mesh WxH] [--dense] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N]"
+                    "usage: glocks-experiments [all|fig1|fig7|fig8|fig9|fig10|table1|table2|table3|table4|ablations|multiprog|faults|chaos|service|scale|stats|fuzz]... [--quick] [--threads N] [--mesh WxH] [--dense] [--watchdog-cycles N] [--csv DIR] [--stats-json DIR] [--chrome-trace FILE] [--jobs N] [--journal FILE] [--resume] [--timeout-secs N] [--retries N] [--backoff-ms N] [--seed N] [--plans K] [--fuzz-out DIR] [--replay FILE] [--synthetic-bug]"
                 );
                 return;
             }
@@ -403,7 +490,13 @@ fn main() {
                 artifacts.push(bench);
             }
         }
-        RunOutput { output: out, artifacts, errors: exp::drain_sim_errors(), failed: false }
+        let errors = exp::drain_sim_errors();
+        // Fault sweeps tolerate individual dead configurations (their
+        // errors are informational rows); the fuzzer's whole contract is
+        // that the envelope is clean, so any deterministic error it
+        // records fails the run.
+        let failed = name == "fuzz" && errors.iter().any(|e| !e.transient);
+        RunOutput { output: out, artifacts, errors, failed }
     };
     let mut walls: Vec<(String, f64)> = Vec::with_capacity(n);
     let rows = sweep::run_sweep(&selected, &sweep_cfg, work, |row| {

@@ -13,11 +13,20 @@
 //! * **tile-death** — a core (and its router) dies outright. That work is
 //!   unrecoverable by design, so the correct outcome is a fast, structured
 //!   [`glocks_sim::SimError`] naming the frozen core — not a silent hang.
+//! * **kill-repair-failback** — the network death is *intermittent*: a
+//!   repair crew replaces the dead hardware mid-run. The fail-back state
+//!   machine probes the rebooted network, accumulates its hysteresis
+//!   score, drains the software fallback at quiescence, and re-arms the
+//!   hardware path — again with the exact fault-free acquire count, plus
+//!   nonzero `sim.repairs` and `sim.failbacks` in the stats dump.
+//!
+//! Every completed row is validated against the *stats dump's* numeric
+//! counters (`sim.failovers`, `sim.failbacks`), not just its exit code.
 //!
 //! The runtime protocol invariant checker rides along on every row:
-//! mutual exclusion, token uniqueness, bounded waiting, and MESI
-//! compatibility are validated throughout the dying run. A violation would
-//! surface as an `invariant-violation` row.
+//! mutual exclusion, token uniqueness, bounded waiting, fail-back safety,
+//! and MESI compatibility are validated throughout the dying run. A
+//! violation would surface as an `invariant-violation` row.
 
 use crate::exp::{effective_watchdog, ExpOptions};
 use glocks_locks::LockAlgorithm;
@@ -37,45 +46,82 @@ pub const CHAOS_SEED: u64 = 0xC4A0;
 pub const EARLIEST_KILL: u64 = 1_000;
 pub const LATEST_KILL: u64 = 5_000;
 
+/// Repair delay for the intermittent scenario: the replacement hardware
+/// becomes available this many cycles after the kill — shortly after the
+/// ~31k-cycle detection verdict, so the failover has visibly taken over
+/// before the repair lands.
+pub const REPAIR_DELAY: u64 = 40_000;
+
+/// Numeric counters pulled from a completed row's stats dump.
+struct RowOutcome {
+    acquires: u64,
+    failovers: Option<u64>,
+    repairs: Option<u64>,
+    failbacks: Option<u64>,
+}
+
 pub fn run(opts: &ExpOptions) -> TextTable {
     let mut t = TextTable::new(
         "Chaos — SCTR under GLocks with permanent hardware deaths",
     )
-    .header(["scenario", "outcome", "cycles", "acquires", "failovers", "checks"]);
+    .header(["scenario", "outcome", "cycles", "acquires", "failovers", "failbacks", "checks"]);
 
     // Fault-free reference: the acquire count every survivable scenario
     // must reproduce exactly.
-    let clean_acquires = row(&mut t, opts, "fault-free", None);
+    let clean = row(&mut t, opts, "fault-free", None);
 
     // Kill every G-line lock network mid-run.
     let mut plan = FaultPlan::seeded(CHAOS_SEED);
     plan.kill_all_glock_networks(1, EARLIEST_KILL, LATEST_KILL);
     let survived = row(&mut t, opts, "kill-glock-nets", Some(plan));
-    if let (Some(clean), Some(after)) = (clean_acquires, survived) {
+    if let (Some(clean), Some(after)) = (&clean, &survived) {
         assert_eq!(
-            clean, after,
-            "failover lost or double-granted acquires ({clean} clean vs {after})"
+            clean.acquires, after.acquires,
+            "failover lost or double-granted acquires"
         );
+        // Dump-backed counters only exist under `--stats-json`; when they
+        // do, they must prove the software path actually served acquires.
+        if let Some(failovers) = after.failovers {
+            assert!(failovers > 0, "the dump must record the reroute onto the software path");
+        }
     }
 
     // A whole tile dies: structured wedge, not a hang.
     let mut plan = FaultPlan::seeded(CHAOS_SEED);
-    plan.hard.push(HardFault {
-        at_cycle: EARLIEST_KILL,
-        target: HardFaultTarget::Tile { core: 1 },
-    });
+    plan.hard.push(HardFault::permanent(
+        EARLIEST_KILL,
+        HardFaultTarget::Tile { core: 1 },
+    ));
     row(&mut t, opts, "tile-death", Some(plan));
+
+    // Intermittent death: kill, repair, and fail back onto the rebooted
+    // hardware — end to end within one run.
+    let mut plan = FaultPlan::seeded(CHAOS_SEED);
+    plan.blink_all_glock_networks(1, EARLIEST_KILL, LATEST_KILL, REPAIR_DELAY);
+    let healed = row(&mut t, opts, "kill-repair-failback", Some(plan));
+    if let (Some(clean), Some(healed)) = (&clean, &healed) {
+        assert_eq!(
+            clean.acquires, healed.acquires,
+            "the repair round trip lost or double-granted acquires"
+        );
+        if let Some(repairs) = healed.repairs {
+            assert!(repairs > 0, "the dump must record the repair installing");
+        }
+        if let Some(failbacks) = healed.failbacks {
+            assert!(failbacks > 0, "the dump must record the hardware path re-arming");
+        }
+    }
     t
 }
 
-/// Run one scenario and append its row; returns the acquire count when the
-/// run completed.
+/// Run one scenario and append its row; returns the dump-backed outcome
+/// when the run completed.
 fn row(
     t: &mut TextTable,
     opts: &ExpOptions,
     scenario: &str,
     plan: Option<FaultPlan>,
-) -> Option<u64> {
+) -> Option<RowOutcome> {
     let bench = opts.bench(BenchKind::Sctr);
     let inst = bench.build();
     let cfg = CmpConfig::paper_baseline().with_cores(bench.threads);
@@ -112,15 +158,11 @@ fn row(
     match sim.run() {
         Ok((report, mem)) => {
             (inst.verify)(mem.store()).expect("surviving a chaos schedule means *correctly*");
-            let stat = |k: &str| {
-                report
-                    .stats
-                    .as_ref()
-                    .and_then(|d| d.counters.get(k).copied())
-                    .map_or_else(|| "-".to_string(), |v| v.to_string())
-            };
-            let failovers = stat("sim.failovers");
-            let checks = stat("checker.checks_run");
+            let num = |k: &str| report.stats.as_ref().and_then(|d| d.counters.get(k).copied());
+            let show = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+            let failovers = num("sim.failovers");
+            let failbacks = num("sim.failbacks");
+            let checks = num("checker.checks_run");
             if let Some(s) = session {
                 s.finish(&report);
             }
@@ -130,10 +172,16 @@ fn row(
                 "completed".to_string(),
                 report.cycles.to_string(),
                 acquires.to_string(),
-                failovers,
-                checks,
+                show(failovers),
+                show(failbacks),
+                show(checks),
             ]);
-            Some(acquires)
+            Some(RowOutcome {
+                acquires,
+                failovers,
+                repairs: num("sim.repairs"),
+                failbacks,
+            })
         }
         Err(e) => {
             if let Some(s) = session {
@@ -150,6 +198,7 @@ fn row(
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
             ]);
             None
         }
@@ -162,9 +211,18 @@ mod tests {
 
     #[test]
     fn chaos_sweep_survives_network_death_and_diagnoses_tile_death() {
+        // Route stats to a temp dir so every row publishes its dump-backed
+        // counters — the failover / repair / fail-back asserts inside
+        // `run` must be exercised, not vacuously skipped.
+        let dir = std::env::temp_dir().join(format!("glocks_chaos_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::exp::set_stats_dir(dir.to_str());
+        crate::exp::set_stats_context("chaos");
         let opts = ExpOptions { quick: true, threads: 8 };
         let t = run(&opts);
-        assert_eq!(t.n_rows(), 3);
+        crate::exp::set_stats_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(t.n_rows(), 4);
         let csv = t.to_csv();
         let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
         assert_eq!(rows[0][1], "completed");
@@ -174,5 +232,12 @@ mod tests {
             "failover must preserve the exact acquire count"
         );
         assert_eq!(rows[2][1], "no-forward-progress", "tile death is a diagnosed wedge");
+        assert_eq!(rows[3][1], "completed", "the repair round trip must complete");
+        assert_eq!(
+            rows[0][3], rows[3][3],
+            "fail-back must preserve the exact acquire count"
+        );
+        assert_ne!(rows[3][5], "-", "the fail-back counter must be published");
+        assert_ne!(rows[3][5], "0", "at least one fail-back must have fired");
     }
 }

@@ -136,6 +136,20 @@ pub fn record_sim_error(e: &SimError) {
     RUN_ERRORS.with(|r| r.borrow_mut().push(crate::journal::RunError::from_sim_error(e)));
 }
 
+/// Record a failure that is not a [`SimError`] — the fuzzer's
+/// verification mismatches, a repro that fails to parse — so the sweep
+/// engine still turns it into a failed journal row and a nonzero exit
+/// code.
+pub fn record_run_error(kind: &str, detail: &str) {
+    RUN_ERRORS.with(|r| {
+        r.borrow_mut().push(crate::journal::RunError {
+            kind: kind.to_string(),
+            transient: false,
+            detail: detail.to_string(),
+        })
+    });
+}
+
 /// Take every error recorded on this thread since the last drain. The
 /// sweep engine drains before and after each run: transient entries make
 /// the run retryable, deterministic ones become journal rows.

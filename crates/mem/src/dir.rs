@@ -278,6 +278,11 @@ impl Directory {
         self.faults = Some(faults);
     }
 
+    /// Soft-fault totals from the injector, if one is attached.
+    pub fn fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
     pub fn counters(&self) -> &CounterSet {
         &self.counters
     }

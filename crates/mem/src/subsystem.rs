@@ -265,6 +265,28 @@ impl MemorySystem {
         }
     }
 
+    /// Soft-fault totals from the NoC's injector, if one is attached.
+    pub fn noc_fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        self.net.fault_stats()
+    }
+
+    /// Aggregate soft-fault totals over every directory injector, or
+    /// `None` when no directory carries one.
+    pub fn dir_fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        let mut any = false;
+        let mut total = glocks_sim_base::fault::FaultStats::default();
+        for dir in &self.dirs {
+            if let Some(s) = dir.fault_stats() {
+                any = true;
+                total.decided += s.decided;
+                total.dropped += s.dropped;
+                total.delayed += s.delayed;
+                total.duplicated += s.duplicated;
+            }
+        }
+        any.then_some(total)
+    }
+
     /// Schedule a permanent NoC router fault (see
     /// [`MeshNoc::schedule_router_kill`]): from cycle `at` every packet
     /// through `tile`'s router is lost. The coherence protocol has no

@@ -89,6 +89,11 @@ impl<T> MeshNoc<T> {
         self.dropped
     }
 
+    /// Soft-fault totals from the injector, if one is attached.
+    pub fn fault_stats(&self) -> Option<glocks_sim_base::fault::FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
     /// Schedule a permanent router fault: from cycle `at` the router at
     /// `tile` drops every packet it would have carried.
     pub fn schedule_router_kill(&mut self, tile: TileId, at: Cycle) {

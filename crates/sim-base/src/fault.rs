@@ -84,6 +84,12 @@ pub enum FaultPlanError {
     RateOverflow { site: &'static str, total_ppm: u64 },
     /// `delay_ppm > 0` with `max_delay == 0`: the delay draw would be empty.
     DelayWithoutBound { site: &'static str },
+    /// A hard fault's `repair_at` does not lie strictly after its kill
+    /// cycle — the fault window would be empty or inverted.
+    InvertedRepairWindow { at_cycle: u64, repair_at: u64 },
+    /// `repair_at` on a target that has no repair semantics (routers and
+    /// tiles lose state that no lock-layer repair can restore).
+    UnrepairableTarget { target: HardFaultTarget },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -94,6 +100,15 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::DelayWithoutBound { site } => {
                 write!(f, "{site} delay faults need max_delay >= 1")
+            }
+            FaultPlanError::InvertedRepairWindow { at_cycle, repair_at } => {
+                write!(
+                    f,
+                    "repair_at {repair_at} must lie strictly after the kill cycle {at_cycle}"
+                )
+            }
+            FaultPlanError::UnrepairableTarget { target } => {
+                write!(f, "{target:?} cannot carry a repair_at (not a repairable target)")
             }
         }
     }
@@ -161,12 +176,59 @@ pub enum HardFaultTarget {
     Tile { core: usize },
 }
 
-/// One permanent failure at a deterministic cycle.
+/// One component failure at a deterministic cycle. Permanent by default;
+/// an **intermittent** fault additionally carries a `repair_at` cycle at
+/// which replacement hardware arrives: the dead component is reset to a
+/// clean boot image and comes back *untrusted* — the fail-back machinery
+/// (`locks::failover`) must probe it healthy before the hardware path is
+/// re-armed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HardFault {
     /// Cycle at which the component dies.
     pub at_cycle: u64,
     pub target: HardFaultTarget,
+    /// Earliest cycle at which the component may be repaired (`None` =
+    /// permanent). The repair actually fires once the death has been
+    /// *detected* and the component has drained, so `repair_at` is a lower
+    /// bound, not an exact instant. Must lie strictly after `at_cycle`,
+    /// and only GLock-layer targets (`GlockLine`/`GlockManager`/
+    /// `GlockLeaf`) are repairable — a router or tile loses architectural
+    /// state no lock-layer reset can restore.
+    pub repair_at: Option<u64>,
+}
+
+impl HardFault {
+    /// A permanent fault (never repaired).
+    pub fn permanent(at_cycle: u64, target: HardFaultTarget) -> Self {
+        HardFault { at_cycle, target, repair_at: None }
+    }
+
+    /// An intermittent fault: killed at `at_cycle`, repairable from
+    /// `repair_at` on.
+    pub fn intermittent(at_cycle: u64, repair_at: u64, target: HardFaultTarget) -> Self {
+        HardFault { at_cycle, target, repair_at: Some(repair_at) }
+    }
+
+    /// Structural validation of the repair window (see [`HardFault::repair_at`]).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        if let Some(repair_at) = self.repair_at {
+            if repair_at <= self.at_cycle {
+                return Err(FaultPlanError::InvertedRepairWindow {
+                    at_cycle: self.at_cycle,
+                    repair_at,
+                });
+            }
+            match self.target {
+                HardFaultTarget::GlockLine { .. }
+                | HardFaultTarget::GlockManager { .. }
+                | HardFaultTarget::GlockLeaf { .. } => {}
+                HardFaultTarget::NocRouter { .. } | HardFaultTarget::Tile { .. } => {
+                    return Err(FaultPlanError::UnrepairableTarget { target: self.target });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A complete, seeded fault schedule for one simulation run.
@@ -209,7 +271,16 @@ impl FaultPlan {
         self.gline.validate("gline")?;
         self.noc.validate("noc")?;
         self.dir.validate("dir")?;
+        for hf in &self.hard {
+            hf.validate()?;
+        }
         Ok(())
+    }
+
+    /// Whether the plan schedules any *intermittent* hard fault (one with
+    /// a repair window).
+    pub fn has_repairs(&self) -> bool {
+        self.hard.iter().any(|hf| hf.repair_at.is_some())
     }
 
     /// Schedule a permanent G-line death for every one of `n_nets` lock
@@ -228,7 +299,27 @@ impl FaultPlan {
             self.hard.push(HardFault {
                 at_cycle: earliest + rng.next_below(span),
                 target: HardFaultTarget::GlockLine { net },
+                repair_at: None,
             });
+        }
+    }
+
+    /// Like [`Self::kill_all_glock_networks`], but intermittent: each
+    /// network becomes repairable `repair_delay` cycles after its
+    /// seed-derived kill cycle. Same RNG derivation, so the kill schedule
+    /// is identical to the permanent variant under the same seed.
+    pub fn blink_all_glock_networks(
+        &mut self,
+        n_nets: usize,
+        earliest: u64,
+        latest: u64,
+        repair_delay: u64,
+    ) {
+        assert!(repair_delay > 0, "repair must come strictly after the kill");
+        let before = self.hard.len();
+        self.kill_all_glock_networks(n_nets, earliest, latest);
+        for hf in &mut self.hard[before..] {
+            hf.repair_at = Some(hf.at_cycle + repair_delay);
         }
     }
 
@@ -455,6 +546,51 @@ mod tests {
             Err(FaultPlanError::DelayWithoutBound { site: "noc" })
         );
         assert!(unbounded.validate().unwrap_err().to_string().contains("max_delay >= 1"));
+    }
+
+    #[test]
+    fn repair_windows_are_validated() {
+        let mut p = FaultPlan::seeded(3);
+        p.hard.push(HardFault::intermittent(1_000, 2_000, HardFaultTarget::GlockLine { net: 0 }));
+        assert_eq!(p.validate(), Ok(()));
+        assert!(p.has_repairs());
+
+        let mut inverted = FaultPlan::seeded(3);
+        inverted
+            .hard
+            .push(HardFault::intermittent(2_000, 2_000, HardFaultTarget::GlockLine { net: 0 }));
+        assert_eq!(
+            inverted.validate(),
+            Err(FaultPlanError::InvertedRepairWindow { at_cycle: 2_000, repair_at: 2_000 })
+        );
+        assert!(inverted.validate().unwrap_err().to_string().contains("strictly after"));
+
+        let mut tile = FaultPlan::seeded(3);
+        tile.hard.push(HardFault::intermittent(100, 200, HardFaultTarget::Tile { core: 1 }));
+        assert_eq!(
+            tile.validate(),
+            Err(FaultPlanError::UnrepairableTarget {
+                target: HardFaultTarget::Tile { core: 1 }
+            })
+        );
+
+        let mut permanent = FaultPlan::seeded(3);
+        permanent.hard.push(HardFault::permanent(100, HardFaultTarget::NocRouter { tile: 2 }));
+        assert_eq!(permanent.validate(), Ok(()));
+        assert!(!permanent.has_repairs());
+    }
+
+    #[test]
+    fn blink_schedule_matches_kill_schedule_with_repairs() {
+        let mut killed = FaultPlan::seeded(9);
+        killed.kill_all_glock_networks(3, 1_000, 5_000);
+        let mut blinked = FaultPlan::seeded(9);
+        blinked.blink_all_glock_networks(3, 1_000, 5_000, 2_500);
+        assert_eq!(blinked.validate(), Ok(()));
+        for (k, b) in killed.hard.iter().zip(&blinked.hard) {
+            assert_eq!(k.at_cycle, b.at_cycle, "same seed, same kill cycle");
+            assert_eq!(b.repair_at, Some(b.at_cycle + 2_500));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `None` by default and the runner's cycle loop then never touches it, so
 //! fault-free paper runs stay bit-identical.
 //!
-//! Four invariant families are validated every [`CheckerConfig::every`]
+//! Five invariant families are validated every [`CheckerConfig::every`]
 //! cycles:
 //!
 //! 1. **Mutual exclusion per lock** — the [`glocks_cpu::LockTracker`]'s
@@ -28,6 +28,12 @@
 //!    global stall trips the watchdog instead, with its own diagnosis.)
 //! 4. **Directory/L1 MESI compatibility** —
 //!    [`glocks_mem::MemorySystem::find_invariant_violation`].
+//! 5. **Fail-back safety** — on a repaired-but-untrusted network, the
+//!    only legitimate grant holder is the fail-back probe's core (no
+//!    production acquire may sneak onto unproven hardware); while a
+//!    fail-back drain is in progress no hardware grant may exist at all;
+//!    and once the hardware path is trusted again no software tenure may
+//!    still be in flight (no double-path ownership).
 //!
 //! A violation surfaces as [`crate::SimError::InvariantViolation`] carrying
 //! the usual diagnostic snapshot, so a sweep harness logs it like any other
@@ -35,10 +41,12 @@
 
 use glocks::GlockNetwork;
 use glocks_cpu::LockTracker;
+use glocks_locks::failover::{FailbackCtl, FailbackMode};
 use glocks_mem::MemorySystem;
 use glocks_sim_base::snap::{SnapError, SnapReader, SnapWriter};
 use glocks_sim_base::{Cycle, LockId, ThreadId};
 use glocks_stats as gstats;
+use std::rc::Rc;
 
 /// Sampling cadence and fairness bound of the runtime checker.
 #[derive(Clone, Copy, Debug)]
@@ -93,13 +101,16 @@ impl ProtocolChecker {
     }
 
     /// Run every invariant family; returns a description of the first
-    /// violation found.
+    /// violation found. `ctls` holds the fail-back controllers
+    /// index-aligned with `nets` (`None` — or a short/empty slice — for
+    /// networks without a failover backend).
     pub fn check(
         &mut self,
         now: Cycle,
         tracker: &LockTracker,
         mem: &MemorySystem,
         nets: &[GlockNetwork],
+        ctls: &[Option<Rc<FailbackCtl>>],
     ) -> Option<String> {
         self.checks_run += 1;
         if let Some(v) = tracker.find_violation() {
@@ -108,6 +119,40 @@ impl ProtocolChecker {
         for (k, net) in nets.iter().enumerate() {
             if let Some(v) = net.token_invariant_violation() {
                 return Some(format!("glock net {k} token invariant: {v}"));
+            }
+            let ctl = ctls.get(k).and_then(|c| c.as_ref());
+            let health = net.health();
+            if !health.is_dead() && !health.is_trusted() {
+                // Repaired but untrusted: the only legitimate grant is the
+                // fail-back probe's round-trip.
+                if let Some(h) = net.regs().hw_holder() {
+                    if ctl.and_then(|c| c.probing_core()) != Some(h) {
+                        return Some(format!(
+                            "glock net {k}: grant to core {h} from an untrusted network"
+                        ));
+                    }
+                }
+            }
+            if let Some(ctl) = ctl {
+                match ctl.mode() {
+                    FailbackMode::Draining => {
+                        if let Some(h) = net.regs().hw_holder() {
+                            return Some(format!(
+                                "glock net {k}: hardware holder {h} during fail-back drain"
+                            ));
+                        }
+                    }
+                    FailbackMode::Hardware => {
+                        let inflight = ctl.sw_inflight();
+                        if inflight > 0 {
+                            return Some(format!(
+                                "glock net {k}: {inflight} software tenure(s) in flight \
+                                 while the hardware path is trusted (double-path ownership)"
+                            ));
+                        }
+                    }
+                    FailbackMode::SoftwareWait | FailbackMode::Probing => {}
+                }
             }
         }
         if let Some(v) = self.check_bounded_waiting(now, tracker) {
@@ -212,7 +257,7 @@ mod tests {
         assert!(ck.due(0) && ck.due(8) && !ck.due(9));
         let tracker = LockTracker::new(1, 4);
         let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
-        assert_eq!(ck.check(0, &tracker, &mem, &[]), None);
+        assert_eq!(ck.check(0, &tracker, &mem, &[], &[]), None);
         assert_eq!(ck.checks_run, 1);
     }
 
@@ -227,16 +272,129 @@ mod tests {
         let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
         // Thread 0 requests at cycle 0 and is never served...
         tracker.on_acquire_start(LockId(0), ThreadId(0), 0);
-        assert_eq!(ck.check(1, &tracker, &mem, &[]), None, "first sight arms the watch");
+        assert_eq!(ck.check(1, &tracker, &mem, &[], &[]), None, "first sight arms the watch");
         // ...while thread 1 grabs the lock over and over (3 > n_cores).
         for _ in 0..3 {
             tracker.on_acquire_start(LockId(0), ThreadId(1), 2);
             tracker.on_acquired(LockId(0), ThreadId(1), 3);
             tracker.on_release_start(LockId(0), ThreadId(1), 4);
         }
-        assert_eq!(ck.check(10, &tracker, &mem, &[]), None, "within the window");
-        let v = ck.check(100, &tracker, &mem, &[]).expect("starvation must trip");
+        assert_eq!(ck.check(10, &tracker, &mem, &[], &[]), None, "within the window");
+        let v = ck.check(100, &tracker, &mem, &[], &[]).expect("starvation must trip");
         assert!(v.contains("bounded waiting"), "{v}");
+    }
+
+    /// The fail-back invariants: a non-probe grant on an untrusted
+    /// network, a hardware holder during the drain, and software tenures
+    /// surviving into the trusted state must all trip the checker.
+    #[test]
+    fn failback_invariants_guard_untrusted_grants_and_double_path() {
+        use glocks::Topology;
+        use glocks_locks::failover::FailoverGlockBackend;
+        use glocks_sim_base::{Addr, Mesh2D};
+
+        let mut net = GlockNetwork::new(&Topology::flat(Mesh2D::new(2, 2)), 1);
+        let backend = FailoverGlockBackend::new(net.regs(), net.health(), Addr(0x1000), 4);
+        let ctl = backend.failback_ctl();
+        let regs = net.regs();
+        // Kill while idle, detect via a raw request, then repair: the
+        // network ends repaired-but-untrusted.
+        net.schedule_line_kill(10);
+        for t in 0..20 {
+            net.tick(t);
+        }
+        regs.set_req(0);
+        let mut now = 20;
+        while !net.health().is_dead() {
+            net.tick(now);
+            now += 1;
+            assert!(now < 1_000_000, "death verdict never reached");
+        }
+        net.schedule_repair(now);
+        net.tick(now);
+        assert!(!net.health().is_dead() && !net.health().is_trusted());
+
+        let tracker = LockTracker::new(1, 4);
+        let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
+        let mut ck = ProtocolChecker::new(CheckerConfig::default(), 1, 4);
+
+        // A rogue (non-probe) request sneaks onto the untrusted hardware
+        // and is granted: invariant 5 must trip.
+        regs.set_req(1);
+        for _ in 0..20 {
+            now += 1;
+            net.tick(now);
+        }
+        assert_eq!(regs.hw_holder(), Some(1));
+        let nets = [net];
+        let ctls = [Some(Rc::clone(&ctl))];
+        let v = ck
+            .check(now, &tracker, &mem, &nets, &ctls)
+            .expect("a non-probe grant on an untrusted network must trip");
+        assert!(v.contains("untrusted"), "{v}");
+
+        // Same grant, but owned by the fail-back probe: legitimate. Forge
+        // the probe state through the controller's own snapshot codec
+        // (mode=Probing, stage=awaiting grant on core 1).
+        let mut w = SnapWriter::new();
+        w.u8(2); // Probing
+        w.u32(0);
+        w.u64(now);
+        w.u8(1); // probe stage: awaiting grant
+        w.usize(1); // probe core 1
+        w.u64(now);
+        w.bool(true);
+        w.u64(now);
+        w.u64(0); // sw_inflight
+        w.u64(0); // failbacks
+        let bytes = w.into_bytes();
+        ctl.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(
+            ck.check(now, &tracker, &mem, &nets, &ctls),
+            None,
+            "the probe's own round-trip is the one legitimate untrusted grant"
+        );
+
+        // Draining with a hardware holder: no grant may exist mid-drain.
+        // (Promote the net to trusted first so the drain invariant — which
+        // holds regardless of health — is the one that trips.)
+        nets[0].health().mark_trusted();
+        let mut w = SnapWriter::new();
+        w.u8(3); // Draining
+        w.u32(0);
+        w.u64(now);
+        w.u8(0);
+        w.usize(0);
+        w.u64(0);
+        w.bool(true);
+        w.u64(0);
+        w.u64(0);
+        w.u64(0);
+        let bytes = w.into_bytes();
+        ctl.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        let v = ck
+            .check(now, &tracker, &mem, &nets, &ctls)
+            .expect("a hardware holder during the drain must trip");
+        assert!(v.contains("drain"), "{v}");
+
+        // Trusted hardware with software tenures still in flight.
+        let mut w = SnapWriter::new();
+        w.u8(0); // Hardware
+        w.u32(0);
+        w.u64(0);
+        w.u8(0);
+        w.usize(0);
+        w.u64(0);
+        w.bool(true);
+        w.u64(0);
+        w.u64(1); // sw_inflight: one stranded software tenure
+        w.u64(0);
+        let bytes = w.into_bytes();
+        ctl.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        let v = ck
+            .check(now, &tracker, &mem, &nets, &ctls)
+            .expect("software tenures on a trusted hardware path must trip");
+        assert!(v.contains("double-path"), "{v}");
     }
 
     #[test]
@@ -249,9 +407,9 @@ mod tests {
         let mut tracker = LockTracker::new(1, 2);
         let mem = MemorySystem::new(&glocks_sim_base::CmpConfig::paper_baseline());
         tracker.on_acquire_start(LockId(0), ThreadId(0), 0);
-        assert_eq!(ck.check(1, &tracker, &mem, &[]), None);
+        assert_eq!(ck.check(1, &tracker, &mem, &[], &[]), None);
         tracker.on_acquired(LockId(0), ThreadId(0), 5);
         tracker.on_release_start(LockId(0), ThreadId(0), 6);
-        assert_eq!(ck.check(1000, &tracker, &mem, &[]), None, "no outstanding request");
+        assert_eq!(ck.check(1000, &tracker, &mem, &[], &[]), None, "no outstanding request");
     }
 }

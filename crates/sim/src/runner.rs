@@ -231,6 +231,10 @@ pub struct Simulation {
     checker: Option<ProtocolChecker>,
     /// Per-backend failover counters, present only under hard faults.
     failover_counters: Vec<std::rc::Rc<std::cell::Cell<u64>>>,
+    /// Fail-back controllers, index-aligned with `glock_nets` (`None` for
+    /// networks without a failover backend). Present only under hard
+    /// faults; they drive the repair → probe → drain → re-arm lifecycle.
+    failback_ctls: Vec<Option<std::rc::Rc<glocks_locks::failover::FailbackCtl>>>,
     has_hard_faults: bool,
     now: Cycle,
     /// Watchdog memory: highest progress-event sum seen and when.
@@ -314,6 +318,21 @@ impl Simulation {
             }
             has_hard_faults = plan.has_hard_faults();
             for hf in &plan.hard {
+                // Intermittent faults: the repair crew arrives at
+                // `repair_at` (validation already rejected repairs on
+                // unrepairable targets).
+                if let Some(repair_at) = hf.repair_at {
+                    match hf.target {
+                        HardFaultTarget::GlockLine { net }
+                        | HardFaultTarget::GlockManager { net, .. }
+                        | HardFaultTarget::GlockLeaf { net, .. } => {
+                            glock_nets[net].schedule_repair(repair_at);
+                        }
+                        HardFaultTarget::NocRouter { .. } | HardFaultTarget::Tile { .. } => {
+                            unreachable!("validated plan cannot repair a router or tile")
+                        }
+                    }
+                }
                 match hf.target {
                     HardFaultTarget::GlockLine { net } => {
                         glock_nets[net].schedule_line_kill(hf.at_cycle);
@@ -346,6 +365,8 @@ impl Simulation {
         // Lock backends in LockId order.
         let mut next_glock = 0usize;
         let mut failover_counters = Vec::new();
+        let mut failback_ctls: Vec<Option<std::rc::Rc<glocks_locks::failover::FailbackCtl>>> =
+            vec![None; n_nets];
         let locks: Vec<Box<dyn LockBackend>> = (0..n_locks)
             .map(|i| {
                 let algo = mapping.algo(LockId(i as u16));
@@ -366,6 +387,7 @@ impl Simulation {
                             cfg.num_cores,
                         );
                         failover_counters.push(b.failover_count());
+                        failback_ctls[k] = Some(b.failback_ctl());
                         return Box::new(b) as Box<dyn LockBackend>;
                     }
                     Some(glock_nets[k].regs())
@@ -434,6 +456,7 @@ impl Simulation {
             pool,
             checker,
             failover_counters,
+            failback_ctls,
             has_hard_faults,
             now: 0,
             progress_mark: (0, 0),
@@ -481,6 +504,11 @@ impl Simulation {
         self.mem.tick(self.now);
         for net in &mut self.glock_nets {
             net.tick(self.now);
+        }
+        // Fail-back controllers tick after their networks so they observe
+        // death verdicts and repairs in the same device phase.
+        for ctl in self.failback_ctls.iter().flatten() {
+            ctl.tick(self.now);
         }
         if let Some(b) = self.gbarrier.as_mut() {
             b.tick(self.now);
@@ -563,7 +591,7 @@ impl Simulation {
         }
         let violation = match self.checker.as_mut() {
             Some(ck) if ck.due(self.now) => {
-                ck.check(self.now, &self.tracker, &self.mem, &self.glock_nets)
+                ck.check(self.now, &self.tracker, &self.mem, &self.glock_nets, &self.failback_ctls)
             }
             _ => None,
         };
@@ -672,6 +700,9 @@ impl Simulation {
         fold!(self.mem.next_event(now));
         for net in &self.glock_nets {
             fold!(net.next_event(now));
+        }
+        for ctl in self.failback_ctls.iter().flatten() {
+            fold!(ctl.next_event(now));
         }
         if let Some(b) = &self.gbarrier {
             fold!(b.next_event(now));
@@ -922,6 +953,12 @@ impl Simulation {
                     net.tick(self.now);
                 }
             }
+            // Controller ticks are O(1) Cell reads when nothing is
+            // happening, so the drain ticks them unconditionally — a
+            // repair installing mid-drain must still be observed.
+            for ctl in self.failback_ctls.iter().flatten() {
+                ctl.tick(self.now);
+            }
             if let Some(b) = self.gbarrier.as_mut() {
                 if b.next_event(self.now).is_some() {
                     b.tick(self.now);
@@ -1003,6 +1040,51 @@ impl Simulation {
                 let failovers = self.failover_counters.iter().map(|c| c.get()).sum::<u64>()
                     + self.pool.as_ref().map_or(0, |p| p.stats().failovers);
                 glocks_stats::set(glocks_stats::counter("sim.failovers"), failovers);
+            }
+            // Repair/fail-back keys exist only when the plan schedules a
+            // repair, and per-site soft-fault keys only when that site's
+            // rates are active — fault-free dumps keep their golden schema.
+            let plan = self.options.fault_plan.as_ref();
+            if plan.is_some_and(|p| p.has_repairs()) {
+                let repairs = self.glock_nets.iter().map(|n| n.health().repairs()).sum::<u64>();
+                let failbacks = self
+                    .failback_ctls
+                    .iter()
+                    .flatten()
+                    .map(|c| c.failbacks())
+                    .sum::<u64>();
+                glocks_stats::set(glocks_stats::counter("sim.repairs"), repairs);
+                glocks_stats::set(glocks_stats::counter("sim.failbacks"), failbacks);
+            }
+            let publish_site = |site: &str, stats: glocks_sim_base::fault::FaultStats| {
+                glocks_stats::set(
+                    glocks_stats::counter(&format!("faults.{site}.drops")),
+                    stats.dropped,
+                );
+                glocks_stats::set(
+                    glocks_stats::counter(&format!("faults.{site}.delays")),
+                    stats.delayed,
+                );
+                glocks_stats::set(
+                    glocks_stats::counter(&format!("faults.{site}.dups")),
+                    stats.duplicated,
+                );
+            };
+            if plan.is_some_and(|p| p.gline.is_active()) {
+                let mut total = glocks_sim_base::fault::FaultStats::default();
+                for s in self.glock_nets.iter().filter_map(|n| n.fault_stats()) {
+                    total.decided += s.decided;
+                    total.dropped += s.dropped;
+                    total.delayed += s.delayed;
+                    total.duplicated += s.duplicated;
+                }
+                publish_site("gline", total);
+            }
+            if plan.is_some_and(|p| p.noc.is_active()) {
+                publish_site("noc", self.mem.noc_fault_stats().unwrap_or_default());
+            }
+            if plan.is_some_and(|p| p.dir.is_active()) {
+                publish_site("dir", self.mem.dir_fault_stats().unwrap_or_default());
             }
             if let Some(ck) = &self.checker {
                 ck.publish_stats();
@@ -1221,16 +1303,73 @@ mod tests {
     }
 
     #[test]
+    fn intermittent_flapping_is_bounded_by_hysteresis() {
+        use glocks_sim_base::fault::{HardFault, HardFaultTarget};
+        use glocks_sim_base::FaultPlan;
+        let cfg = CmpConfig::paper_baseline().with_cores(8);
+        let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
+        let iters = 200;
+        let sim = Simulation::new(
+            &cfg,
+            &mapping,
+            mini_workloads(&cfg, iters),
+            &[],
+            SimulationOptions::default(),
+        );
+        let (clean, _) = sim.run().expect("fault-free run");
+        // Two blink episodes on the same network: kill, repair, re-kill
+        // after the first fail-back, repair again. The hysteresis (probe
+        // score + dwell) must promote the rebooted hardware exactly once
+        // per episode — bounded flapping, not thrash. Detection takes
+        // ~47k cycles of retransmission backoff from each kill, so the
+        // second episode starts well after the first fail-back (~52k).
+        let mut plan = FaultPlan::seeded(5);
+        plan.hard.push(HardFault::intermittent(
+            1_000,
+            40_000,
+            HardFaultTarget::GlockLine { net: 0 },
+        ));
+        plan.hard.push(HardFault::intermittent(
+            60_000,
+            110_000,
+            HardFaultTarget::GlockLine { net: 0 },
+        ));
+        let opts = SimulationOptions {
+            fault_plan: Some(plan),
+            checker: Some(CheckerConfig::default()),
+            ..Default::default()
+        };
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let sim = Simulation::new(&cfg, &mapping, mini_workloads(&cfg, iters), &[], opts);
+        let (report, mem) = sim.run().expect("intermittent faults must be survived");
+        glocks_stats::disable();
+        assert_eq!(
+            mem.store().load(Addr(0x200_0000)),
+            8 * iters,
+            "no lost increments across two repair round trips"
+        );
+        assert_eq!(
+            report.acquires[0], clean.acquires[0],
+            "repair and fail-back must preserve the acquire count"
+        );
+        let dump = report.stats.as_ref().expect("stats session not open");
+        let counter = |k: &str| dump.counters.get(k).copied().unwrap_or(0);
+        assert_eq!(counter("sim.repairs"), 2, "each blink installs one repair");
+        assert_eq!(
+            counter("sim.failbacks"),
+            2,
+            "hysteresis bounds flapping to one fail-back per episode"
+        );
+    }
+
+    #[test]
     fn tile_death_is_diagnosed_not_survived() {
         use glocks_sim_base::fault::{HardFault, HardFaultTarget};
         use glocks_sim_base::FaultPlan;
         let cfg = CmpConfig::paper_baseline().with_cores(4);
         let mapping = LockMapping::uniform(LockAlgorithm::Tatas, 1);
         let mut plan = FaultPlan::seeded(3);
-        plan.hard.push(HardFault {
-            at_cycle: 1_000,
-            target: HardFaultTarget::Tile { core: 2 },
-        });
+        plan.hard.push(HardFault::permanent(1_000, HardFaultTarget::Tile { core: 2 }));
         let opts = SimulationOptions {
             fault_plan: Some(plan),
             watchdog_cycles: 50_000,

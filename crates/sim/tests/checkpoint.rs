@@ -409,8 +409,90 @@ fn run_service(sim: Simulation) -> (String, u64) {
     (json, counter)
 }
 
+/// Options for an *intermittent* network death: the G-lines die inside
+/// [2000, 6000], the replacement hardware becomes claimable 40k cycles
+/// later (just before the ~47k-cycle detection verdict lands), and the
+/// fail-back machinery probes, dwells, drains and re-arms — all within the
+/// run.
+fn blink_options(checker: bool) -> SimulationOptions {
+    let mut plan = FaultPlan::seeded(0xBEEF);
+    plan.gline = FaultRates::drops(10_000);
+    plan.blink_all_glock_networks(1, 2_000, 6_000, 40_000);
+    SimulationOptions {
+        fault_plan: Some(plan),
+        checker: checker.then(CheckerConfig::default),
+        watchdog_cycles: 500_000,
+        ..Default::default()
+    }
+}
+
+fn blink_workloads(cores: usize, iters: u64) -> Vec<Box<dyn Workload>> {
+    (0..cores)
+        .map(|_| Box::new(Counter { iters, phase: 0, seen: 0 }) as Box<dyn Workload>)
+        .collect()
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Tentpole property: an intermittent-fault run interrupted at a
+    /// random cycle inside the repair / probe / drain window and resumed
+    /// into a fresh machine produces a byte-identical dump — the repaired
+    /// network's untrusted boot image, the fail-back controller's probe
+    /// rotation, hysteresis score, dwell timer and software-drain
+    /// bookkeeping all ride through the snapshot.
+    #[test]
+    fn resume_during_probe_and_drain_phases_is_byte_identical(
+        at_cycle in 45_000u64..62_000,
+        checker in any::<bool>(),
+    ) {
+        let cores = 8;
+        let iters = 48;
+        let cfg = CmpConfig::paper_baseline().with_cores(cores);
+        let mapping = LockMapping::uniform(LockAlgorithm::Glock, 1);
+
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let sim = Simulation::new(
+            &cfg, &mapping, blink_workloads(cores, iters), &[], blink_options(checker),
+        );
+        let (ref_json, ref_counter) = finish_with_stats(sim);
+        // The reference run proves the checkpoint window actually overlaps
+        // the fail-back machinery: the hardware path was re-armed, and the
+        // run outlived every sampled interruption cycle.
+        let dump = glocks_stats::StatsDump::from_json(&ref_json).expect("dump parses");
+        prop_assert!(
+            dump.counters.get("sim.failbacks").copied().unwrap_or(0) > 0,
+            "the scenario must actually fail back"
+        );
+        prop_assert!(
+            dump.counters.get("sim.cycles").copied().unwrap_or(0) > at_cycle,
+            "the run must outlive the interruption cycle"
+        );
+
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let mut sim = Simulation::new(
+            &cfg, &mapping, blink_workloads(cores, iters), &[], blink_options(checker),
+        );
+        while sim.now() < at_cycle {
+            if sim.step().expect("healthy until checkpoint") {
+                break;
+            }
+        }
+        let bytes = sim.checkpoint().expect("mid-fail-back state snapshots").into_bytes();
+        drop(sim);
+        glocks_stats::disable();
+
+        let snap = Snapshot::from_bytes(bytes).expect("snapshot byte round-trip");
+        glocks_stats::enable(glocks_stats::StatsConfig::default());
+        let resumed = Simulation::resume(
+            &cfg, &mapping, blink_workloads(cores, iters), &[], blink_options(checker), &snap,
+        )
+        .expect("snapshot loads into an identical machine");
+        prop_assert_eq!(resumed.now(), snap.cycle());
+        let (got_json, got_counter) = finish_with_stats(resumed);
+        prop_assert_eq!(got_counter, ref_counter, "memory image diverged");
+        prop_assert_eq!(got_json, ref_json, "mid-fail-back resume not byte-identical");
+    }
 
     /// Satellite property: an open-loop service run interrupted mid-burst
     /// at a random cycle and resumed produces a byte-identical stats dump

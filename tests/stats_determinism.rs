@@ -110,6 +110,39 @@ fn identical_runs_dump_byte_identical_stats_json_under_faults() {
     assert!(retransmits > 0, "1% G-line loss must cause retransmissions");
 }
 
+/// Dense and event-driven loops must also agree through the full
+/// kill → failover → repair → fail-back lifecycle. The fail-back
+/// controller's probe timers, hysteresis dwell and drain bookkeeping are
+/// `next_event`-aware, so the idle-skip scheduler may leap across probe
+/// gaps — and must still land on exactly the dense trajectory, down to
+/// the `sim.repairs` / `sim.failbacks` counters.
+#[test]
+fn event_driven_and_dense_loops_agree_under_intermittent_faults() {
+    let opts = |idle_skip: bool| {
+        let mut plan = FaultPlan::seeded(0xFA02);
+        plan.gline = FaultRates::drops(5_000); // transient loss on top
+        plan.blink_all_glock_networks(1, 1_000, 5_000, 40_000);
+        SimulationOptions {
+            fault_plan: Some(plan),
+            idle_skip,
+            watchdog_cycles: 500_000,
+            ..Default::default()
+        }
+    };
+    let skip = dump_json(opts(true));
+    let dense = dump_json(opts(false));
+    assert_eq!(skip, dense, "the fail-back lifecycle diverged between loop modes");
+    let dump = gstats::StatsDump::from_json(&skip).expect("dump parses");
+    assert!(
+        dump.counters.get("sim.repairs").copied().unwrap_or(0) > 0,
+        "the blink plan must actually install a repair"
+    );
+    assert!(
+        dump.counters.get("sim.failbacks").copied().unwrap_or(0) > 0,
+        "the repaired network must actually be re-armed"
+    );
+}
+
 #[test]
 fn self_diff_of_a_dump_is_clean() {
     let text = dump_json(Default::default());
